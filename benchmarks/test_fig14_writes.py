@@ -1,0 +1,66 @@
+"""Fig. 14 — TPC-W write statements across the evaluated systems.
+
+Shape anchors: Synergy writes are ~9x cheaper than the MVCC systems
+(hierarchical single lock vs begin/commit round trips), W6/W11 are the
+cheapest Synergy writes (Shopping_cart participates in no view), and
+VoltDB remains cheapest overall.
+"""
+
+import pytest
+
+from repro.tpcw.writes import WRITE_STATEMENTS
+
+SYSTEMS = ("VoltDB", "Synergy", "MVCC-A", "MVCC-UA", "Baseline")
+
+PARAMS = [
+    pytest.param(name, wid, id=f"{wid}-{name}")
+    for wid in WRITE_STATEMENTS
+    for name in SYSTEMS
+]
+
+
+@pytest.mark.parametrize("name,wid", PARAMS)
+def test_fig14_write_statement(benchmark, systems, lab, rep_counter, name, wid):
+    system = systems[name]
+
+    def run():
+        rep = next(rep_counter)
+        params = lab.generator.params_for_write(wid, rep)
+        _, virtual_ms = system.timed_id(wid, params)
+        return virtual_ms
+
+    virtual_ms = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["virtual_ms"] = round(virtual_ms, 2)
+
+
+def test_fig14_synergy_beats_mvcc_on_writes(systems, lab, rep_counter, benchmark):
+    def run():
+        out = {}
+        for name in ("Synergy", "Baseline", "MVCC-A"):
+            rep = next(rep_counter)
+            params = lab.generator.params_for_write("W1", rep)
+            _, ms = systems[name].timed_id("W1", params)
+            out[name] = ms
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert times["Synergy"] * 3 < times["Baseline"]
+    assert times["Synergy"] * 3 < times["MVCC-A"]
+    benchmark.extra_info["speedup_vs_baseline"] = round(
+        times["Baseline"] / times["Synergy"], 1
+    )
+
+
+def test_fig14_viewless_writes_cheapest(systems, lab, rep_counter, benchmark):
+    """W6 (Shopping_cart, no views, no lock) is cheaper than W13
+    (Customer, mid-path of Customer-Orders, 6-step marked update)."""
+    synergy = systems["Synergy"]
+
+    def run():
+        rep = next(rep_counter)
+        _, w6 = synergy.timed_id("W6", lab.generator.params_for_write("W6", rep))
+        _, w13 = synergy.timed_id("W13", lab.generator.params_for_write("W13", rep))
+        return w6, w13
+
+    w6, w13 = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert w6 < w13

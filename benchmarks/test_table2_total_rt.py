@@ -1,0 +1,47 @@
+"""Table II — sum of response times of all TPC-W statements.
+
+Paper (1M customers): Synergy 33.7s < MVCC-A 77.4s < MVCC-UA 132.4s <
+Baseline 173.4s; Synergy's best-case improvement is 80.5%. VoltDB is
+excluded (it cannot run all queries)."""
+
+import pytest
+
+from repro.tpcw.queries import JOIN_QUERIES
+from repro.tpcw.writes import WRITE_STATEMENTS
+
+SYSTEMS = ("Synergy", "MVCC-A", "MVCC-UA", "Baseline")
+
+
+def total_rt(system, lab, rep: int) -> float:
+    total = 0.0
+    for qid in JOIN_QUERIES:
+        _, ms = system.timed_id(qid, lab.generator.params_for_query(qid, rep))
+        total += ms
+    for wid in WRITE_STATEMENTS:
+        _, ms = system.timed_id(wid, lab.generator.params_for_write(wid, rep))
+        total += ms
+    return total
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_table2_total_rt(benchmark, systems, lab, rep_counter, name):
+    system = systems[name]
+
+    def run():
+        return total_rt(system, lab, next(rep_counter))
+
+    virtual_ms = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["virtual_total_s"] = round(virtual_ms / 1000.0, 3)
+
+
+def test_table2_ordering(systems, lab, rep_counter, benchmark):
+    def run():
+        return {n: total_rt(systems[n], lab, next(rep_counter)) for n in SYSTEMS}
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert totals["Synergy"] < totals["MVCC-A"]
+    assert totals["Synergy"] < totals["MVCC-UA"]
+    assert totals["Synergy"] < totals["Baseline"]
+    improvement = 100 * (1 - totals["Synergy"] / totals["Baseline"])
+    benchmark.extra_info["improvement_vs_baseline_pct"] = round(improvement, 1)
+    assert improvement > 50  # paper: 80.5%

@@ -1,0 +1,68 @@
+"""CLI: regenerate every table and figure.
+
+    python -m repro.bench --scale 200 --reps 10 --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import (
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.bench.tpcw_lab import TpcwLab
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Regenerate every table and figure of the paper.",
+    )
+    parser.add_argument("--scale", type=int, default=200,
+                        help="TPC-W customers (paper: 1,000,000)")
+    parser.add_argument("--reps", type=int, default=10,
+                        help="repetitions per measurement (paper: 10)")
+    parser.add_argument("--micro-scales", type=str, default="50,500,5000",
+                        help="comma-separated micro-benchmark scales")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    say = (lambda _m: None) if args.quiet else (
+        lambda m: print(f"  .. {m}", file=sys.stderr)
+    )
+    sections: list[str] = []
+
+    sections.append("Table I — qualitative comparison\n" + run_table1())
+    sections.append("Fig. 13 — evaluated configurations\n" + run_fig13())
+
+    micro_scales = tuple(int(s) for s in args.micro_scales.split(","))
+    for r in run_fig10(micro_scales, args.reps, progress=say).values():
+        sections.append(r.to_text())
+    sections.append(run_fig11(repetitions=args.reps).to_text())
+
+    lab = TpcwLab(num_customers=args.scale, repetitions=args.reps)
+    sections.append(run_fig12(lab, progress=say).to_text())
+    sections.append(run_fig14(lab, progress=say).to_text())
+    sections.append(run_table2(lab, progress=say).to_text())
+    sections.append(run_table3(lab, progress=say).to_text())
+
+    report = "\n\n".join(sections)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

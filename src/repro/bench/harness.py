@@ -1,0 +1,116 @@
+"""Result containers, statistics and text rendering for the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Mean and standard error of repeated measurements."""
+
+    mean: float
+    stderr: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f}±{self.stderr:.1f}"
+
+
+def summarize(samples: Sequence[float]) -> Stat:
+    n = len(samples)
+    if n == 0:
+        return Stat(float("nan"), float("nan"), 0)
+    mean = sum(samples) / n
+    if n < 2:
+        return Stat(mean, 0.0, n)
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    return Stat(mean, math.sqrt(var / n), n)
+
+
+@dataclass
+class Series:
+    """One labelled series of (x -> Stat) points, e.g. one system."""
+
+    label: str
+    points: dict[Any, Stat | None] = field(default_factory=dict)
+
+    def set(self, x: Any, stat: Stat | None) -> None:
+        self.points[x] = stat
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: series over shared x-values plus notes."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: list[Any] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    unit: str = "ms"
+
+    def add_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def get(self, label: str, x: Any) -> Stat | None:
+        for s in self.series:
+            if s.label == label:
+                return s.points.get(x)
+        return None
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    # -- rendering --------------------------------------------------------------------
+    def to_text(self) -> str:
+        headers = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for x in self.x_values:
+            row = [str(x)]
+            for s in self.series:
+                stat = s.points.get(x)
+                if stat is None:
+                    row.append("X")
+                else:
+                    row.append(f"{stat.mean:,.1f} ± {stat.stderr:,.1f}")
+            rows.append(row)
+        table = render_table(headers, rows)
+        lines = [f"== {self.experiment_id}: {self.title} (unit: {self.unit}) ==", table]
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        return "\n".join(lines)
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Iterable[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [fmt(headers), sep]
+    out.extend(fmt(r) for r in rows)
+    return "\n".join(out)
+
+
+def ratio_of_means(
+    result: ExperimentResult, numerator: str, denominator: str
+) -> float:
+    """Mean over shared x-values of (numerator mean / denominator mean)."""
+    ratios = []
+    for x in result.x_values:
+        a = result.get(numerator, x)
+        b = result.get(denominator, x)
+        if a is None or b is None or b.mean == 0:
+            continue
+        ratios.append(a.mean / b.mean)
+    return sum(ratios) / len(ratios) if ratios else float("nan")

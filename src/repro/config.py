@@ -1,0 +1,165 @@
+"""Cost-model and experiment configuration.
+
+All latency constants used by the simulated cluster live here, in one
+dataclass, so that every experiment is reproducible from a single
+calibration point and so that nothing about a particular figure is
+hard-coded inside an engine.
+
+Calibration anchors (from the paper, Sections IX-B..IX-D):
+
+* Tephra-style MVCC adds **800-900 ms** to every statement (begin +
+  commit round trips through the transaction server) — we split this
+  into ``mvcc_begin_ms`` + ``mvcc_commit_ms``.
+* Acquiring and releasing 100 HBase row locks costs ~571 ms, with a
+  sub-linear start (342 ms at 10 locks) attributable to fixed client
+  setup cost, and near-linear growth after (2182 ms at 1000 locks).
+  We model this as ``lock_client_setup_ms`` once per batch plus two
+  ``checkAndPut`` round trips per lock.
+* HBase joins are RPC-bound: Phoenix's index nested-loop join issues one
+  Get round-trip per probe, a server-side scan streams rows in batches.
+* VoltDB executes a single-partition stored procedure in ~1 ms.
+
+The defaults were chosen so that the *relative* results of the paper's
+figures emerge from operation counts; see EXPERIMENTS.md for the
+measured-vs-paper comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time cost constants, all in milliseconds unless noted."""
+
+    # --- generic RPC / network -------------------------------------------------
+    rpc_base_ms: float = 0.8
+    """One client <-> region-server round trip (request + response headers)."""
+
+    network_ms_per_kb: float = 0.012
+    """Marginal transfer cost per KiB moved between nodes."""
+
+    # --- HBase server-side work ------------------------------------------------
+    seek_ms: float = 0.05
+    """Positioning a scanner / point lookup inside a region (memstore+HFiles)."""
+
+    read_row_ms: float = 0.004
+    """Server-side cost of materializing one row out of the store."""
+
+    write_row_ms: float = 0.01
+    """Server-side cost of applying one mutation to the memstore."""
+
+    wal_append_ms: float = 0.35
+    """Synchronous WAL append (HDFS pipeline hsync)."""
+
+    phoenix_statement_ms: float = 18.0
+    """Client-side per-statement overhead of the Phoenix JDBC driver
+    (parse, plan, meta lookups). Calibrated so the cheapest Synergy
+    statements land in the tens of milliseconds, as in the paper's
+    Figs. 12/14; charged once per statement on every HBase-backed
+    system (VoltDB has its own stored-procedure base cost)."""
+
+    scan_batch_rows: int = 1000
+    """Rows returned per scanner ``next()`` round trip."""
+
+    # --- MVCC (Tephra-like) ----------------------------------------------------
+    mvcc_begin_ms: float = 410.0
+    """Start-transaction round trip to the transaction server."""
+
+    mvcc_commit_ms: float = 440.0
+    """canCommit + conflict detection + commit round trips."""
+
+    mvcc_read_snapshot_ms: float = 2.0
+    """Read-only snapshot handout (Tephra startShort round trip); far
+    cheaper than a write transaction but not free."""
+
+    mvcc_version_check_ms: float = 0.0008
+    """Per-cell visibility check against the snapshot's exclusion list;
+    roughly doubles the server-side cost of a scanned row."""
+
+    # --- Synergy transaction layer ----------------------------------------------
+    txlayer_dispatch_ms: float = 1.2
+    """Client -> transaction-layer-slave hop for a write request."""
+
+    lock_client_setup_ms: float = 310.0
+    """Fixed client-side cost of the stand-alone locking *experiment* batch
+    (connection + meta warm-up); charged once per ``LockBatch``, mirrors the
+    sub-linear growth of Fig. 11. Not charged on the Synergy write path,
+    which holds a warm connection."""
+
+    check_and_put_ms: float = 0.15
+    """Server-side atomic read-compare-write on the lock table row."""
+
+    mark_row_ms: float = 0.01
+    """Marking/unmarking one view row dirty (update procedure steps 3/5)."""
+
+    # --- VoltDB ------------------------------------------------------------------
+    voltdb_proc_base_ms: float = 8.0
+    """Client-observed single-partition stored-procedure round trip
+    (the paper measures tau at the client over the EC2 network)."""
+
+    voltdb_row_ms: float = 0.0006
+    """Per-row in-memory processing cost inside a partition executor."""
+
+    voltdb_multipart_ms: float = 4.0
+    """Extra coordination cost of a multi-partition transaction."""
+
+    # --- storage accounting (bytes, not ms) ---------------------------------------
+    kv_overhead_bytes: int = 24
+    """Per-cell HBase KeyValue framing (key/value lengths, type, timestamp)."""
+
+    voltdb_row_overhead_bytes: int = 8
+    """Per-row overhead of the in-memory NewSQL engine."""
+
+    def scaled(self, **overrides: Any) -> "CostModel":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster (mirrors the paper's EC2 testbed)."""
+
+    num_region_servers: int = 5
+    regions_per_table: int = 5
+    hfile_flush_threshold_rows: int = 50_000
+    max_versions: int = 1
+    seed: int = 20170904  # CLUSTER'17 conference date
+
+    cost: CostModel = field(default_factory=CostModel)
+
+
+DEFAULT_CLUSTER_CONFIG = ClusterConfig()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the benchmark harness."""
+
+    repetitions: int = 10
+    """The paper runs every experiment 10 times and reports mean + stderr."""
+
+    jitter_fraction: float = 0.02
+    """Multiplicative latency jitter (deterministic, seeded) so repeated
+    runs produce a realistic non-zero standard error, as in the paper."""
+
+    num_customers: int = 1000
+    """TPC-W scale for the full-benchmark experiments. The paper uses 1M;
+    the pure-Python simulator defaults to 1000 (linear-scaling generator,
+    ratios preserved: NUM_ITEMS = 10 x NUM_CUST, Customer:Orders = 1:10)."""
+
+    microbench_scales: tuple[int, ...] = (50, 500, 5000)
+    """Micro-benchmark customer counts (paper: 500, 5k, 50k; we shift one
+    decade down by default — pass (500, 5000, 50000) to match exactly)."""
+
+    lock_counts: tuple[int, ...] = (10, 100, 1000)
+
+    seed: int = 1710_01792  # arXiv id of the paper
+
+
+DEFAULT_EXPERIMENT_CONFIG = ExperimentConfig()

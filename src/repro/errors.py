@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro package.
+
+Every layer raises a subclass of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Invalid relational schema (unknown relation, bad key, dangling FK...)."""
+
+
+class SqlError(ReproError):
+    """SQL lexing/parsing/analysis failure."""
+
+
+class SqlSyntaxError(SqlError):
+    """The statement text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class PlanError(ReproError):
+    """The planner could not produce an execution plan for a statement."""
+
+
+class UnsupportedStatementError(PlanError):
+    """A statement is outside the subset a given system supports.
+
+    Raised e.g. by the VoltDB engine for joins that are not on the
+    partitioning column, and by Synergy for multi-row write statements.
+    """
+
+
+class HBaseError(ReproError):
+    """Errors from the simulated HBase layer."""
+
+
+class TableNotFoundError(HBaseError):
+    """Operation addressed a table that does not exist."""
+
+
+class TableExistsError(HBaseError):
+    """CREATE for a table that already exists."""
+
+
+class RegionUnavailableError(HBaseError):
+    """The region hosting a key is offline (simulated failure)."""
+
+
+class TransactionError(ReproError):
+    """Errors from either transaction layer (MVCC or Synergy)."""
+
+
+class TransactionConflictError(TransactionError):
+    """MVCC write-write conflict detected at commit time."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was rolled back and cannot be used further."""
+
+
+class LockTimeoutError(TransactionError):
+    """A hierarchical lock could not be acquired within the timeout."""
+
+
+class DirtyReadRestart(ReproError):
+    """Internal signal: a scan observed a marked (in-flight) row.
+
+    The Phoenix executor catches this and restarts the scan; it is surfaced
+    only when the restart budget is exhausted.
+    """
+
+
+class ViewSelectionError(ReproError):
+    """View generation/selection failed (e.g. cyclic schema graph)."""
+
+
+class WorkloadError(ReproError):
+    """A workload statement violates the documented restrictions."""

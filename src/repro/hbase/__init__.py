@@ -1,0 +1,49 @@
+"""A simulated, multi-node HBase.
+
+Faithful to the architecture the paper relies on (Sec. II-C):
+
+* tables of rows **sorted by row key**, columns grouped into column
+  families, cells carrying multiple timestamped versions;
+* a data-manipulation API of five primitives — :class:`Get`,
+  :class:`Put`, :class:`Scan`, :class:`Delete`, :class:`Increment` —
+  plus the atomic ``checkAndPut`` used for row locks;
+* region servers hosting key-ranged regions (memstore + HFiles + WAL),
+  a master assigning regions, and major compaction;
+* single-row ACID with read-committed semantics.
+
+Every operation charges virtual time through the owning
+:class:`~repro.sim.clock.Simulation`: RPC round trips, server-side row
+work, WAL syncs and result-transfer bytes. Response-time experiments
+measure elapsed virtual time.
+"""
+
+from repro.hbase.bytes_util import decode_key, encode_key
+from repro.hbase.cell import Cell, Result
+from repro.hbase.client import HBaseClient, HTable
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.ops import Delete, Get, Increment, Put, Scan
+from repro.hbase.filters import (
+    ColumnValueFilter,
+    FilterBase,
+    PrefixFilter,
+    RowRangeFilter,
+)
+
+__all__ = [
+    "Cell",
+    "ColumnValueFilter",
+    "Delete",
+    "FilterBase",
+    "Get",
+    "HBaseClient",
+    "HBaseCluster",
+    "HTable",
+    "Increment",
+    "PrefixFilter",
+    "Put",
+    "Result",
+    "RowRangeFilter",
+    "Scan",
+    "decode_key",
+    "encode_key",
+]

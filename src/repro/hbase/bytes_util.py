@@ -1,0 +1,82 @@
+"""Row-key encoding: order-preserving delimited concatenation.
+
+The baseline schema transformation (paper Sec. II-D) builds a row key as
+"a delimited concatenation of the value of attributes" in the key. We
+encode each component with the order-preserving codecs from
+:mod:`repro.relational.datatypes` and join with a ``0x00`` delimiter;
+``0x00`` bytes inside a component are escaped as ``0x00 0xFF`` so that
+the concatenation remains prefix-safe and order-preserving for the
+fixed-width numeric encodings used in keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.relational.datatypes import DataType, decode_value, encode_value
+
+DELIM = b"\x00"
+ESCAPE = b"\x00\xff"
+
+
+def _escape(component: bytes) -> bytes:
+    return component.replace(DELIM, ESCAPE)
+
+
+def _unescape(component: bytes) -> bytes:
+    return component.replace(ESCAPE, DELIM)
+
+
+def encode_key(dtypes: Sequence[DataType], values: Iterable[Any]) -> bytes:
+    """Encode a composite key from typed components."""
+    values = list(values)
+    if len(values) != len(dtypes):
+        raise ValueError(f"key arity mismatch: {len(values)} values, {len(dtypes)} types")
+    parts = [_escape(encode_value(dt, v)) for dt, v in zip(dtypes, values)]
+    return DELIM.join(parts)
+
+
+def split_key(key: bytes) -> list[bytes]:
+    """Split a composite key into escaped components."""
+    out: list[bytes] = []
+    cur = bytearray()
+    i = 0
+    n = len(key)
+    while i < n:
+        b = key[i]
+        if b == 0:
+            if i + 1 < n and key[i + 1] == 0xFF:  # escaped 0x00
+                cur.append(0)
+                i += 2
+                continue
+            out.append(bytes(cur))
+            cur.clear()
+            i += 1
+            continue
+        cur.append(b)
+        i += 1
+    out.append(bytes(cur))
+    return out
+
+
+def decode_key(dtypes: Sequence[DataType], key: bytes) -> tuple[Any, ...]:
+    """Inverse of :func:`encode_key`."""
+    parts = split_key(key)
+    if len(parts) != len(dtypes):
+        raise ValueError(
+            f"key arity mismatch: {len(parts)} components, {len(dtypes)} types"
+        )
+    return tuple(decode_value(dt, p) for dt, p in zip(dtypes, parts))
+
+
+def next_key(key: bytes) -> bytes:
+    """The smallest key strictly greater than every key with prefix ``key``.
+
+    Used to turn a key prefix into an exclusive scan stop row.
+    """
+    return key + b"\xff"
+
+
+def prefix_stop(prefix: bytes) -> bytes:
+    """Exclusive stop row for scanning all keys starting with ``prefix``."""
+    return prefix + b"\xff\xff\xff\xff\xff\xff\xff\xff"

@@ -1,0 +1,81 @@
+"""Cells and read results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One versioned cell: (row, family, qualifier, timestamp, value).
+
+    Ordering follows HBase: by row, family, qualifier, then *descending*
+    timestamp (we store ``-timestamp`` in the sort key to get that).
+    """
+
+    row: bytes
+    family: bytes
+    qualifier: bytes
+    timestamp: int
+    value: bytes = field(compare=False)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.row) + len(self.family) + len(self.qualifier) + 8 + len(self.value)
+
+
+class Result:
+    """Result of a Get or one Scan row: newest-first versions per column."""
+
+    __slots__ = ("row", "_cells")
+
+    def __init__(self, row: bytes) -> None:
+        self.row = row
+        # (family, qualifier) -> list[(timestamp, value)] newest first
+        self._cells: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
+
+    def add(self, family: bytes, qualifier: bytes, timestamp: int, value: bytes) -> None:
+        versions = self._cells.setdefault((family, qualifier), [])
+        versions.append((timestamp, value))
+        versions.sort(key=lambda tv: -tv[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._cells
+
+    def columns(self) -> list[tuple[bytes, bytes]]:
+        return sorted(self._cells)
+
+    def value(self, family: bytes, qualifier: bytes) -> bytes | None:
+        """Newest version's value, or None when the column is absent."""
+        versions = self._cells.get((family, qualifier))
+        return versions[0][1] if versions else None
+
+    def versions(self, family: bytes, qualifier: bytes) -> list[tuple[int, bytes]]:
+        return list(self._cells.get((family, qualifier), ()))
+
+    def cells(self) -> list[Cell]:
+        out = []
+        for (family, qualifier), versions in sorted(self._cells.items()):
+            for ts, value in versions:
+                out.append(Cell(self.row, family, qualifier, ts, value))
+        return out
+
+    def to_dict(self, family: bytes) -> dict[bytes, bytes]:
+        """{qualifier: newest value} for one family."""
+        return {
+            q: versions[0][1]
+            for (f, q), versions in self._cells.items()
+            if f == family and versions
+        }
+
+    @property
+    def size_bytes(self) -> int:
+        total = 0
+        for (family, qualifier), versions in self._cells.items():
+            for _, value in versions:
+                total += len(self.row) + len(family) + len(qualifier) + 8 + len(value)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Result(row={self.row!r}, ncols={len(self._cells)})"

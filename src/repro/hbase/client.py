@@ -1,0 +1,209 @@
+"""Client API: connection + HTable with the five primitives.
+
+The client charges what a real HBase client pays: one RPC round trip
+per addressed region, result bytes over the wire, and scanner batches
+(``Scan`` streams ``scan_batch_rows`` rows per ``next()`` round trip).
+Server-side work (seeks, per-row materialization, WAL syncs) is charged
+by the region server it lands on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from repro.hbase.cell import Result
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.ops import Delete, Get, Increment, Put, Scan
+from repro.sim.latency import LatencyCharger
+
+
+class HTable:
+    """Client-side view of one table."""
+
+    def __init__(self, cluster: HBaseCluster, name: str) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.desc = cluster.descriptor(name)
+        self.charge = LatencyCharger(cluster.sim, "client")
+
+    # -- point ops --------------------------------------------------------------------
+    def get(self, op: Get) -> Result | None:
+        region = self.desc.region_for(op.row)
+        server = self.cluster.server_for(region)
+        self.charge.rpc()
+        server.charge.seek()
+        result = region.read_row(
+            op.row, op.columns, op.max_versions, op.time_range
+        )
+        if result is not None:
+            server.charge.rows_read(1)
+            self.charge.transfer(result.size_bytes)
+        return result
+
+    def put(self, op: Put) -> None:
+        region = self.desc.region_for(op.row)
+        server = self.cluster.server_for(region)
+        self.charge.rpc()
+        ts = self.cluster.next_timestamp()
+        server.apply_put(region, op.row, op.cells, ts)
+
+    def put_batch(self, ops: list[Put]) -> None:
+        """Buffered multi-put: one RPC per addressed region, WAL batched."""
+        by_region: dict[str, list[Put]] = {}
+        regions = {}
+        for op in ops:
+            region = self.desc.region_for(op.row)
+            regions[region.name] = region
+            by_region.setdefault(region.name, []).append(op)
+        for region_name, puts in by_region.items():
+            region = regions[region_name]
+            server = self.cluster.server_for(region)
+            self.charge.rpc()
+            server.charge.wal_append()  # one group sync per region batch
+            for op in puts:
+                ts = self.cluster.next_timestamp()
+                server.apply_put(region, op.row, op.cells, ts, charge_wal=False)
+
+    def delete(self, op: Delete) -> None:
+        region = self.desc.region_for(op.row)
+        server = self.cluster.server_for(region)
+        self.charge.rpc()
+        ts = self.cluster.next_timestamp()
+        server.apply_delete(region, op.row, op.columns, ts)
+
+    def increment(self, op: Increment) -> int:
+        """Atomic read-add-write on an 8-byte big-endian counter."""
+        region = self.desc.region_for(op.row)
+        server = self.cluster.server_for(region)
+        self.charge.rpc()
+        server.charge.seek()
+        result = region.read_row(op.row, [(op.family, op.qualifier)])
+        current = 0
+        if result is not None:
+            raw = result.value(op.family, op.qualifier)
+            if raw:
+                current = struct.unpack(">q", raw)[0]
+        new_value = current + op.amount
+        ts = self.cluster.next_timestamp()
+        server.apply_put(
+            region,
+            op.row,
+            [(op.family, op.qualifier, struct.pack(">q", new_value), None)],
+            ts,
+        )
+        return new_value
+
+    def check_and_put(
+        self,
+        row: bytes,
+        family: bytes,
+        qualifier: bytes,
+        expected: bytes | None,
+        put: Put,
+    ) -> bool:
+        """Atomically: if current value of (family, qualifier) == expected
+        (None = column absent), apply ``put`` and return True."""
+        region = self.desc.region_for(row)
+        server = self.cluster.server_for(region)
+        self.charge.check_and_put()
+        result = region.read_row(row, [(family, qualifier)])
+        current = result.value(family, qualifier) if result is not None else None
+        if current != expected:
+            return False
+        ts = self.cluster.next_timestamp()
+        server.apply_put(region, put.row, put.cells, ts)
+        return True
+
+    # -- scans -------------------------------------------------------------------------
+    def scan(self, op: Scan | None = None) -> Iterator[Result]:
+        """Stream rows in key order across all overlapping regions.
+
+        Charges: per region one open RPC + seek; one RPC per
+        ``scan_batch_rows`` rows transferred; server-side per-row read
+        work for every row *examined* (filtered rows still cost reads).
+        """
+        op = op or Scan()
+        batch_size = self.cluster.config.cost.scan_batch_rows
+        emitted = 0
+        for region in self.desc.regions_overlapping(op.start_row, op.stop_row or None):
+            server = self.cluster.server_for(region)
+            self.charge.rpc()  # open scanner on this region
+            server.charge.seek()
+            batch_rows = 0
+            batch_bytes = 0
+            start = max(op.start_row, region.start_key)
+            for row in region.iter_keys(start, _min_stop(op.stop_row, region.end_key)):
+                result = region.read_row(
+                    row, op.columns, op.max_versions, op.time_range
+                )
+                server.charge.rows_read(1)
+                if result is None:
+                    continue
+                if op.filter is not None and not op.filter.accept(result):
+                    continue
+                batch_rows += 1
+                batch_bytes += result.size_bytes
+                if batch_rows >= batch_size:
+                    self.charge.rpc()
+                    self.charge.transfer(batch_bytes)
+                    batch_rows = 0
+                    batch_bytes = 0
+                emitted += 1
+                yield result
+                if op.limit is not None and emitted >= op.limit:
+                    if batch_rows:
+                        self.charge.rpc()
+                        self.charge.transfer(batch_bytes)
+                    return
+            if batch_rows:
+                self.charge.rpc()
+                self.charge.transfer(batch_bytes)
+
+    def scan_all(self, op: Scan | None = None) -> list[Result]:
+        return list(self.scan(op))
+
+    # -- stats -------------------------------------------------------------------------
+    def row_count(self) -> int:
+        return self.cluster.table_row_count(self.name)
+
+    def size_bytes(self) -> int:
+        return self.cluster.table_size_bytes(self.name)
+
+
+def _min_stop(a: bytes | None, b: bytes | None) -> bytes | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+class HBaseClient:
+    """Connection façade: table handles + DDL passthrough."""
+
+    def __init__(self, cluster: HBaseCluster) -> None:
+        self.cluster = cluster
+        self._tables: dict[str, HTable] = {}
+
+    def table(self, name: str) -> HTable:
+        if name not in self._tables:
+            self._tables[name] = HTable(self.cluster, name)
+        return self._tables[name]
+
+    def create_table(
+        self,
+        name: str,
+        families: tuple[bytes, ...] = (b"cf",),
+        split_keys: list[bytes] | None = None,
+        max_versions: int | None = None,
+    ) -> HTable:
+        self.cluster.create_table(name, families, split_keys, max_versions)
+        return self.table(name)
+
+    def drop_table(self, name: str) -> None:
+        self.cluster.drop_table(name)
+        self._tables.pop(name, None)
+
+    def has_table(self, name: str) -> bool:
+        return self.cluster.has_table(name)

@@ -1,0 +1,195 @@
+"""The simulated cluster: HMaster duties + meta table + timestamp oracle.
+
+The master creates tables (optionally pre-split), assigns regions
+round-robin across region servers, and recovers regions from a crashed
+server by re-opening them elsewhere and replaying the WAL — the same
+fault-tolerance story the paper's HBase layer provides.
+"""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
+from repro.errors import TableExistsError, TableNotFoundError
+from repro.hbase.region import Region
+from repro.hbase.regionserver import RegionServer
+from repro.sim.clock import Simulation
+
+
+class TableDescriptor:
+    """Table metadata: families, version limit, region layout."""
+
+    def __init__(
+        self,
+        name: str,
+        families: tuple[bytes, ...],
+        max_versions: int,
+        regions: list[Region],
+    ) -> None:
+        self.name = name
+        self.families = families
+        self.max_versions = max_versions
+        self.regions = regions  # sorted by start key
+
+    def region_for(self, row: bytes) -> Region:
+        # linear scan is fine: tables have a handful of regions
+        for region in self.regions:
+            if region.contains(row):
+                return region
+        raise TableNotFoundError(
+            f"no region for row {row!r} in table {self.name}"
+        )  # pragma: no cover - regions always tile the key space
+
+    def regions_overlapping(
+        self, start: bytes, stop: bytes | None
+    ) -> list[Region]:
+        out = []
+        for region in self.regions:
+            if stop is not None and region.start_key >= stop:
+                continue
+            if region.end_key is not None and region.end_key <= start:
+                continue
+            out.append(region)
+        return out
+
+
+class HBaseCluster:
+    """Owns region servers and table metadata; issues timestamps."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.servers: list[RegionServer] = [
+            RegionServer(f"rs{i + 1}", sim) for i in range(config.num_region_servers)
+        ]
+        self.tables: dict[str, TableDescriptor] = {}
+        self._ts = 0
+        self._assign_cursor = 0
+        self._region_host: dict[str, RegionServer] = {}
+
+    # -- timestamp oracle ----------------------------------------------------------
+    def next_timestamp(self) -> int:
+        self._ts += 1
+        return self._ts
+
+    @property
+    def current_timestamp(self) -> int:
+        return self._ts
+
+    # -- DDL -------------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        families: tuple[bytes, ...] = (b"cf",),
+        split_keys: list[bytes] | None = None,
+        max_versions: int | None = None,
+    ) -> TableDescriptor:
+        if name in self.tables:
+            raise TableExistsError(name)
+        max_versions = max_versions or self.config.max_versions
+        boundaries: list[bytes | None] = [b""]
+        boundaries.extend(sorted(split_keys or []))
+        boundaries.append(None)
+        regions = []
+        for i in range(len(boundaries) - 1):
+            start = boundaries[i]
+            assert start is not None
+            region = Region(
+                table_name=name,
+                start_key=start,
+                end_key=boundaries[i + 1],
+                max_versions=max_versions,
+                kv_overhead_bytes=self.config.cost.kv_overhead_bytes,
+                flush_threshold_rows=self.config.hfile_flush_threshold_rows,
+            )
+            regions.append(region)
+            self._assign(region)
+        desc = TableDescriptor(name, families, max_versions, regions)
+        self.tables[name] = desc
+        return desc
+
+    def drop_table(self, name: str) -> None:
+        desc = self.tables.pop(name, None)
+        if desc is None:
+            raise TableNotFoundError(name)
+        for region in desc.regions:
+            server = self._region_host.pop(region.name)
+            server.unhost(region.name)
+
+    def descriptor(self, name: str) -> TableDescriptor:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise TableNotFoundError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    # -- region placement ----------------------------------------------------------
+    def _assign(self, region: Region, server: RegionServer | None = None) -> None:
+        if server is None:
+            live = [s for s in self.servers if s.alive]
+            server = live[self._assign_cursor % len(live)]
+            self._assign_cursor += 1
+        server.host(region)
+        self._region_host[region.name] = server
+
+    def server_for(self, region: Region) -> RegionServer:
+        return self._region_host[region.name]
+
+    def region_distribution(self) -> dict[str, int]:
+        """server name -> hosted region count (for balance checks)."""
+        out: dict[str, int] = {s.name: 0 for s in self.servers}
+        for server in self._region_host.values():
+            out[server.name] += 1
+        return out
+
+    # -- failure handling -----------------------------------------------------------
+    def recover_server(self, dead: RegionServer) -> int:
+        """Master failover: reopen the dead server's regions elsewhere,
+        replaying its WAL. Returns the number of regions recovered."""
+        if dead.alive:
+            raise ValueError(f"server {dead.name} is alive")
+        recovered = 0
+        for region_name in list(dead.regions):
+            old = dead.unhost(region_name)
+            fresh = Region(
+                table_name=old.table_name,
+                start_key=old.start_key,
+                end_key=old.end_key,
+                max_versions=old.max_versions,
+                kv_overhead_bytes=old.kv_overhead_bytes,
+                flush_threshold_rows=old.flush_threshold_rows,
+            )
+            fresh.hfiles = list(old.hfiles)  # HFiles live on HDFS
+            fresh._approx_size_bytes = old._approx_size_bytes
+            dead.replay_wal_into(fresh)
+            del self._region_host[region_name]
+            self._assign(fresh)
+            # swap the region object inside the table descriptor
+            desc = self.tables[old.table_name]
+            desc.regions = [
+                fresh if r.name == old.name else r for r in desc.regions
+            ]
+            recovered += 1
+        return recovered
+
+    # -- stats ------------------------------------------------------------------------
+    def table_size_bytes(self, name: str) -> int:
+        desc = self.descriptor(name)
+        return sum(r.approx_size_bytes for r in desc.regions)
+
+    def total_size_bytes(self) -> int:
+        return sum(self.table_size_bytes(t) for t in self.tables)
+
+    def major_compact(self, name: str | None = None) -> None:
+        names = [name] if name else list(self.tables)
+        for n in names:
+            for region in self.descriptor(n).regions:
+                region.major_compact()
+
+    def table_row_count(self, name: str) -> int:
+        return sum(r.row_count() for r in self.descriptor(name).regions)

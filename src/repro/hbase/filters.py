@@ -1,0 +1,79 @@
+"""Server-side scan filters (a small subset of HBase's filter zoo)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hbase.cell import Result
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class FilterBase:
+    """Decides row by row whether a scan emits the row."""
+
+    def accept(self, result: Result) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class ColumnValueFilter(FilterBase):
+    """Keep rows whose newest ``family:qualifier`` value compares true.
+
+    ``missing_accepts`` mirrors HBase's ``filterIfMissing=False`` default:
+    rows lacking the column pass the filter unless told otherwise.
+    """
+
+    family: bytes
+    qualifier: bytes
+    op: str
+    value: bytes
+    missing_accepts: bool = False
+
+    def accept(self, result: Result) -> bool:
+        cur = result.value(self.family, self.qualifier)
+        if cur is None:
+            return self.missing_accepts
+        return _OPS[self.op](cur, self.value)
+
+
+@dataclass
+class PrefixFilter(FilterBase):
+    """Keep rows whose key starts with ``prefix``."""
+
+    prefix: bytes
+
+    def accept(self, result: Result) -> bool:
+        return result.row.startswith(self.prefix)
+
+
+@dataclass
+class RowRangeFilter(FilterBase):
+    """Keep rows with ``start <= key < stop`` (either bound optional)."""
+
+    start: bytes | None = None
+    stop: bytes | None = None
+
+    def accept(self, result: Result) -> bool:
+        if self.start is not None and result.row < self.start:
+            return False
+        if self.stop is not None and result.row >= self.stop:
+            return False
+        return True
+
+
+@dataclass
+class AndFilter(FilterBase):
+    """Conjunction of sub-filters."""
+
+    filters: tuple[FilterBase, ...]
+
+    def accept(self, result: Result) -> bool:
+        return all(f.accept(result) for f in self.filters)

@@ -1,0 +1,88 @@
+"""Client-side operation descriptors (the five HBase primitives)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hbase.filters import FilterBase
+
+
+class Put:
+    """Single-row write: one or more cell values (optionally timestamped)."""
+
+    __slots__ = ("row", "cells", "timestamp")
+
+    def __init__(self, row: bytes, timestamp: int | None = None) -> None:
+        self.row = row
+        self.timestamp = timestamp
+        self.cells: list[tuple[bytes, bytes, bytes, int | None]] = []
+
+    def add(
+        self,
+        family: bytes,
+        qualifier: bytes,
+        value: bytes,
+        timestamp: int | None = None,
+    ) -> "Put":
+        self.cells.append((family, qualifier, value, timestamp or self.timestamp))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Put(row={self.row!r}, ncells={len(self.cells)})"
+
+
+class Get:
+    """Single-row read, optionally restricted to specific columns."""
+
+    __slots__ = ("row", "columns", "max_versions", "time_range")
+
+    def __init__(
+        self,
+        row: bytes,
+        columns: list[tuple[bytes, bytes]] | None = None,
+        max_versions: int = 1,
+        time_range: tuple[int, int] | None = None,
+    ) -> None:
+        self.row = row
+        self.columns = columns
+        self.max_versions = max_versions
+        self.time_range = time_range
+
+
+class Delete:
+    """Single-row delete (whole row, or specific columns)."""
+
+    __slots__ = ("row", "columns")
+
+    def __init__(
+        self, row: bytes, columns: list[tuple[bytes, bytes]] | None = None
+    ) -> None:
+        self.row = row
+        self.columns = columns
+
+
+class Increment:
+    """Atomic server-side add on a 64-bit counter column."""
+
+    __slots__ = ("row", "family", "qualifier", "amount")
+
+    def __init__(self, row: bytes, family: bytes, qualifier: bytes, amount: int = 1):
+        self.row = row
+        self.family = family
+        self.qualifier = qualifier
+        self.amount = amount
+
+
+@dataclass
+class Scan:
+    """Range scan: ``[start_row, stop_row)`` with optional filter/limit."""
+
+    start_row: bytes = b""
+    stop_row: bytes | None = None
+    filter: "FilterBase | None" = None
+    limit: int | None = None
+    max_versions: int = 1
+    time_range: tuple[int, int] | None = None
+    columns: list[tuple[bytes, bytes]] | None = field(default=None)

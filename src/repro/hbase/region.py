@@ -1,0 +1,178 @@
+"""A region: one key range of a table, with memstore + HFiles + size stats."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.errors import RegionUnavailableError
+from repro.hbase.cell import Result
+from repro.hbase.store import HFile, MemStore, RowEntry, merge_row
+
+
+class Region:
+    """Hosts rows with ``start_key <= row < end_key`` (empty bounds = open)."""
+
+    def __init__(
+        self,
+        table_name: str,
+        start_key: bytes,
+        end_key: bytes | None,
+        max_versions: int = 1,
+        kv_overhead_bytes: int = 24,
+        flush_threshold_rows: int = 50_000,
+    ) -> None:
+        self.table_name = table_name
+        self.start_key = start_key
+        self.end_key = end_key
+        self.max_versions = max_versions
+        self.kv_overhead_bytes = kv_overhead_bytes
+        self.flush_threshold_rows = flush_threshold_rows
+        self.memstore = MemStore()
+        self.hfiles: list[HFile] = []
+        self.online = True
+        self._approx_size_bytes = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"{self.table_name},{self.start_key.hex() or '-'}"
+
+    def _check_online(self) -> None:
+        if not self.online:
+            raise RegionUnavailableError(f"region {self.name} is offline")
+
+    def contains(self, row: bytes) -> bool:
+        if row < self.start_key:
+            return False
+        return self.end_key is None or row < self.end_key
+
+    @property
+    def approx_size_bytes(self) -> int:
+        return self._approx_size_bytes
+
+    # -- writes ---------------------------------------------------------------
+    def put_row(
+        self,
+        row: bytes,
+        cells: list[tuple[bytes, bytes, bytes, int | None]],
+        default_ts: int,
+    ) -> None:
+        """Apply one Put's cells; caller provides the server timestamp."""
+        self._check_online()
+        entry = self.memstore.entry(row, create=True)
+        assert entry is not None
+        for family, qualifier, value, ts in cells:
+            stamp = ts if ts is not None else default_ts
+            entry.put_cell(family, qualifier, stamp, value)
+            self._approx_size_bytes += (
+                len(row)
+                + len(family)
+                + len(qualifier)
+                + len(value)
+                + self.kv_overhead_bytes
+            )
+
+    def delete_row(
+        self,
+        row: bytes,
+        columns: list[tuple[bytes, bytes]] | None,
+        ts: int,
+    ) -> None:
+        self._check_online()
+        entry = self.memstore.entry(row, create=True)
+        assert entry is not None
+        if columns is None:
+            entry.delete_row(ts)
+        else:
+            for family, qualifier in columns:
+                entry.delete_column(family, qualifier, ts)
+
+    # -- reads -----------------------------------------------------------------
+    def _sources_for(self, row: bytes) -> list[RowEntry]:
+        sources: list[RowEntry] = []
+        mem = self.memstore.entry(row)
+        if mem is not None:
+            sources.append(mem)
+        for hfile in reversed(self.hfiles):  # newest flush first
+            e = hfile.entry(row)
+            if e is not None:
+                sources.append(e)
+        return sources
+
+    def read_row(
+        self,
+        row: bytes,
+        columns: list[tuple[bytes, bytes]] | None = None,
+        max_versions: int = 1,
+        time_range: tuple[int, int] | None = None,
+    ) -> Result | None:
+        """Visible cells of one row, or None if absent/deleted."""
+        self._check_online()
+        sources = self._sources_for(row)
+        if not sources:
+            return None
+        visible = merge_row(
+            sources, max(max_versions, 1), time_range
+        )
+        if visible is None:
+            return None
+        result = Result(row)
+        wanted = set(columns) if columns else None
+        for (family, qualifier), versions in visible.items():
+            if wanted is not None and (family, qualifier) not in wanted:
+                continue
+            for ts, value in versions:
+                result.add(family, qualifier, ts, value)
+        return None if result.is_empty else result
+
+    def iter_keys(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
+        """Merged, de-duplicated, sorted row keys across memstore + HFiles."""
+        self._check_online()
+        streams = [self.memstore.keys_in_range(start, stop)]
+        streams.extend(h.keys_in_range(start, stop) for h in self.hfiles)
+        last: bytes | None = None
+        for key in heapq.merge(*streams):
+            if key != last:
+                last = key
+                yield key
+
+    # -- flush & compaction ------------------------------------------------------
+    def flush(self) -> HFile | None:
+        """Freeze the memstore into a new HFile."""
+        self._check_online()
+        if len(self.memstore) == 0:
+            return None
+        frozen = {row: entry for row, entry in self.memstore.items()}
+        hfile = HFile(frozen)
+        self.hfiles.append(hfile)
+        self.memstore.clear()
+        return hfile
+
+    def major_compact(self) -> None:
+        """Merge all store components into one HFile; drop tombstones and
+        versions beyond ``max_versions``; recompute the exact size."""
+        self._check_online()
+        merged_entries: dict[bytes, RowEntry] = {}
+        size = 0
+        for row in list(self.iter_keys(self.start_key, self.end_key)):
+            visible = merge_row(self._sources_for(row), self.max_versions)
+            if visible is None:
+                continue
+            entry = RowEntry()
+            for (family, qualifier), versions in visible.items():
+                for ts, value in versions:
+                    entry.put_cell(family, qualifier, ts, value)
+            merged_entries[row] = entry
+            size += entry.size_bytes(row, self.kv_overhead_bytes)
+        self.memstore.clear()
+        self.hfiles = [HFile(merged_entries)] if merged_entries else []
+        self._approx_size_bytes = size
+
+    def row_count(self) -> int:
+        """Number of visible rows (post-merge); O(n)."""
+        count = 0
+        for row in self.iter_keys(self.start_key, self.end_key):
+            if merge_row(self._sources_for(row), 1) is not None:
+                count += 1
+        return count

@@ -1,0 +1,84 @@
+"""Region servers: host regions, apply mutations through the WAL."""
+
+from __future__ import annotations
+
+from repro.errors import HBaseError
+from repro.hbase.region import Region
+from repro.hbase.wal import WalEntry, WriteAheadLog
+from repro.sim.clock import Simulation
+from repro.sim.latency import LatencyCharger
+
+
+class RegionServer:
+    """One simulated HBase RegionServer process."""
+
+    def __init__(self, name: str, sim: Simulation) -> None:
+        self.name = name
+        self.sim = sim
+        self.charge = LatencyCharger(sim, f"rs.{name}")
+        self.regions: dict[str, Region] = {}
+        self.wal = WriteAheadLog()
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise HBaseError(f"region server {self.name} is down")
+
+    def host(self, region: Region) -> None:
+        self.regions[region.name] = region
+
+    def unhost(self, region_name: str) -> Region:
+        return self.regions.pop(region_name)
+
+    # -- mutations (all WAL-first) ---------------------------------------------------
+    def apply_put(
+        self,
+        region: Region,
+        row: bytes,
+        cells: list[tuple[bytes, bytes, bytes, int | None]],
+        ts: int,
+        charge_wal: bool = True,
+    ) -> None:
+        self._check_alive()
+        self.wal.append(WalEntry(region.name, "put", row, list(cells), ts))
+        if charge_wal:
+            self.charge.wal_append()
+        region.put_row(row, cells, ts)
+        self.charge.rows_written(1)
+        if len(region.memstore) >= region.flush_threshold_rows:
+            self.flush_region(region)
+
+    def apply_delete(
+        self,
+        region: Region,
+        row: bytes,
+        columns: list[tuple[bytes, bytes]] | None,
+        ts: int,
+    ) -> None:
+        self._check_alive()
+        self.wal.append(WalEntry(region.name, "delete", row, columns, ts))
+        self.charge.wal_append()
+        region.delete_row(row, columns, ts)
+        self.charge.rows_written(1)
+
+    def flush_region(self, region: Region) -> None:
+        self._check_alive()
+        region.flush()
+        self.wal.truncate(region.name)
+
+    # -- failure simulation -----------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all memstores; HFiles (on 'HDFS') and the WAL survive."""
+        self.alive = False
+        for region in self.regions.values():
+            region.online = False
+
+    def replay_wal_into(self, region: Region) -> int:
+        """Re-apply logged mutations (idempotent); returns entries replayed."""
+        entries = self.wal.entries_for(region.name)
+        for e in entries:
+            if e.kind == "put":
+                region.put_row(e.row, e.payload, e.timestamp)
+            else:
+                region.delete_row(e.row, e.payload, e.timestamp)
+        return len(entries)

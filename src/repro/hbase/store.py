@@ -1,0 +1,168 @@
+"""Region-internal storage: memstore and HFiles (LSM semantics).
+
+Both the mutable memstore and immutable HFiles share one row-entry
+representation; the region read path merges entries newest-to-oldest,
+honouring row/column tombstones, exactly as an LSM tree does. Major
+compaction folds everything into a single HFile, dropping tombstones
+and versions beyond ``max_versions``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class RowEntry:
+    """Versions and tombstones for one row within one store component."""
+
+    cells: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = field(
+        default_factory=dict
+    )
+    row_tombstone_ts: int | None = None
+    col_tombstones: dict[tuple[bytes, bytes], int] = field(default_factory=dict)
+
+    def put_cell(self, family: bytes, qualifier: bytes, ts: int, value: bytes) -> None:
+        versions = self.cells.setdefault((family, qualifier), [])
+        versions.append((ts, value))
+        versions.sort(key=lambda tv: -tv[0])
+
+    def delete_row(self, ts: int) -> None:
+        if self.row_tombstone_ts is None or ts > self.row_tombstone_ts:
+            self.row_tombstone_ts = ts
+
+    def delete_column(self, family: bytes, qualifier: bytes, ts: int) -> None:
+        key = (family, qualifier)
+        if key not in self.col_tombstones or ts > self.col_tombstones[key]:
+            self.col_tombstones[key] = ts
+
+    def size_bytes(self, row: bytes, kv_overhead: int) -> int:
+        total = 0
+        for (family, qualifier), versions in self.cells.items():
+            for _, value in versions:
+                total += (
+                    len(row) + len(family) + len(qualifier) + len(value) + kv_overhead
+                )
+        return total
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.cells
+            and self.row_tombstone_ts is None
+            and not self.col_tombstones
+        )
+
+
+class MemStore:
+    """Mutable sorted map row-key -> :class:`RowEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, RowEntry] = {}
+        self._sorted_keys: list[bytes] = []
+
+    def entry(self, row: bytes, create: bool = False) -> RowEntry | None:
+        e = self._entries.get(row)
+        if e is None and create:
+            e = RowEntry()
+            self._entries[row] = e
+            bisect.insort(self._sorted_keys, row)
+        return e
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, row: bytes) -> bool:
+        return row in self._entries
+
+    def keys_in_range(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
+        i = bisect.bisect_left(self._sorted_keys, start)
+        while i < len(self._sorted_keys):
+            k = self._sorted_keys[i]
+            if stop is not None and k >= stop:
+                return
+            yield k
+            i += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._sorted_keys.clear()
+
+    def items(self) -> Iterator[tuple[bytes, RowEntry]]:
+        for k in self._sorted_keys:
+            yield k, self._entries[k]
+
+
+class HFile:
+    """Immutable sorted store file produced by a memstore flush."""
+
+    _seq = 0
+
+    def __init__(self, entries: dict[bytes, RowEntry]) -> None:
+        HFile._seq += 1
+        self.file_id = HFile._seq
+        self._entries = entries
+        self._sorted_keys = sorted(entries)
+
+    def entry(self, row: bytes) -> RowEntry | None:
+        return self._entries.get(row)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys_in_range(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
+        i = bisect.bisect_left(self._sorted_keys, start)
+        while i < len(self._sorted_keys):
+            k = self._sorted_keys[i]
+            if stop is not None and k >= stop:
+                return
+            yield k
+            i += 1
+
+    def items(self) -> Iterator[tuple[bytes, RowEntry]]:
+        for k in self._sorted_keys:
+            yield k, self._entries[k]
+
+
+def merge_row(
+    sources: list[RowEntry],
+    max_versions: int,
+    time_range: tuple[int, int] | None = None,
+) -> dict[tuple[bytes, bytes], list[tuple[int, bytes]]] | None:
+    """Merge one row's entries (newest component first) into visible cells.
+
+    Returns None when the row has no visible cells (fully deleted/absent).
+    """
+    row_ts = max(
+        (s.row_tombstone_ts for s in sources if s.row_tombstone_ts is not None),
+        default=None,
+    )
+    col_ts: dict[tuple[bytes, bytes], int] = {}
+    for s in sources:
+        for key, ts in s.col_tombstones.items():
+            if key not in col_ts or ts > col_ts[key]:
+                col_ts[key] = ts
+
+    merged: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
+    for s in sources:
+        for key, versions in s.cells.items():
+            merged.setdefault(key, []).extend(versions)
+
+    visible: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
+    for key, versions in merged.items():
+        kept = []
+        for ts, value in sorted(versions, key=lambda tv: -tv[0]):
+            if row_ts is not None and ts <= row_ts:
+                continue
+            if key in col_ts and ts <= col_ts[key]:
+                continue
+            if time_range is not None and not (time_range[0] <= ts < time_range[1]):
+                continue
+            kept.append((ts, value))
+            if len(kept) >= max_versions:
+                break
+        if kept:
+            visible[key] = kept
+    return visible or None

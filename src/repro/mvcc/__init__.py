@@ -1,0 +1,13 @@
+"""Tephra-style MVCC transactions (paper Sec. II-D).
+
+Phoenix gains multi-statement transactions through a central transaction
+server: every write transaction pays a begin round trip and a
+canCommit/commit round trip with optimistic conflict detection — the
+800-900 ms per-statement overhead the paper measures (Sec. IX-D4).
+Reads run against a snapshot (cached client-side) and pay a per-cell
+visibility check against the snapshot's exclusion list.
+"""
+
+from repro.mvcc.tephra import MvccTransaction, TephraServer, TransactionAwareExecutor
+
+__all__ = ["MvccTransaction", "TephraServer", "TransactionAwareExecutor"]

@@ -1,0 +1,153 @@
+"""Baseline schema transformation (paper Sec. II-D) and view DDL.
+
+* A relation ``R`` becomes an HBase table ``R'`` with the same attribute
+  set; the row key is the delimited concatenation of ``PK(R)`` values.
+* An index ``X(R)`` becomes a table whose row key is the concatenation
+  of ``Xtuple(R) + PK(R)``; being *covered*, it stores all its attributes.
+* All attributes go to one column family.
+
+Views and view-indexes (created later by the Synergy machinery) follow
+the same encoding; a view's key is the key of the *last* relation in its
+path (paper Definition 5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.hbase.client import HBaseClient
+from repro.phoenix.catalog import (
+    CF,
+    Catalog,
+    CatalogEntry,
+    INDEX,
+    TABLE,
+    VIEW,
+    VIEW_INDEX,
+)
+from repro.relational.schema import Index, Relation, Schema
+
+
+def index_table_name(relation: str, index_name: str) -> str:
+    return f"{relation}.{index_name}"
+
+
+def _index_entry(rel: Relation, idx: Index) -> CatalogEntry:
+    key_attrs = tuple(dict.fromkeys(idx.indexed_on + rel.primary_key))
+    attrs = tuple(dict.fromkeys(idx.attributes + rel.primary_key))
+    dtypes = {a: rel.dtype_of(a) for a in attrs}
+    return CatalogEntry(
+        name=index_table_name(rel.name, idx.name),
+        kind=INDEX,
+        key_attrs=key_attrs,
+        attrs=attrs,
+        dtypes=dtypes,
+        relation=rel.name,
+        base=rel.name,
+        indexed_on=tuple(idx.indexed_on),
+    )
+
+
+def create_baseline_schema(client: HBaseClient, schema: Schema) -> Catalog:
+    """Create one HBase table per relation and per covered index."""
+    catalog = Catalog(schema)
+    for rel in schema:
+        entry = CatalogEntry(
+            name=rel.name,
+            kind=TABLE,
+            key_attrs=tuple(rel.primary_key),
+            attrs=tuple(rel.attribute_names),
+            dtypes={a.name: a.dtype for a in rel.attributes},
+            relation=rel.name,
+        )
+        catalog.add_entry(entry)
+        client.create_table(entry.name, families=(CF,))
+        for idx in schema.indexes(rel.name):
+            ientry = _index_entry(rel, idx)
+            catalog.add_entry(ientry)
+            client.create_table(ientry.name, families=(CF,))
+    return catalog
+
+
+def create_view_entry(
+    client: HBaseClient,
+    catalog: Catalog,
+    view_name: str,
+    view_path: tuple[str, ...],
+    attributes: tuple[str, ...] | None = None,
+) -> CatalogEntry:
+    """Create the physical table for a materialized view.
+
+    Attributes = union of the path relations' attributes (paper Def. 5),
+    or an explicit projection (the tuning-advisor's narrow views); key =
+    PK of the last relation. Attribute names must be globally unique
+    across the path (true for both the Company and TPC-W schemas).
+    """
+    schema = catalog.schema
+    attrs: list[str] = []
+    dtypes: dict[str, object] = {}
+    for rel_name in view_path:
+        rel = schema.relation(rel_name)
+        for a in rel.attributes:
+            if attributes is not None and a.name not in attributes:
+                continue
+            if a.name in dtypes:
+                raise SchemaError(
+                    f"view {view_name}: duplicate attribute {a.name!r} "
+                    f"across {view_path}"
+                )
+            attrs.append(a.name)
+            dtypes[a.name] = a.dtype
+    last = schema.relation(view_path[-1])
+    for key_attr in last.primary_key:
+        if key_attr not in dtypes:
+            raise SchemaError(
+                f"view {view_name}: projection must include the key "
+                f"attribute {key_attr!r} of {last.name}"
+            )
+    entry = CatalogEntry(
+        name=view_name,
+        kind=VIEW,
+        key_attrs=tuple(last.primary_key),
+        attrs=tuple(attrs),
+        dtypes=dtypes,  # type: ignore[arg-type]
+        view_path=tuple(view_path),
+    )
+    catalog.add_entry(entry)
+    client.create_table(entry.name, families=(CF,))
+    return entry
+
+
+def create_view_index_entry(
+    client: HBaseClient,
+    catalog: Catalog,
+    view_entry: CatalogEntry,
+    indexed_on: tuple[str, ...],
+    name: str | None = None,
+    covered: bool = True,
+) -> CatalogEntry:
+    """Create a view-index, indexed upon ``indexed_on``.
+
+    The physical key is ``indexed_on + PK(view)``. Covered indexes
+    (read indexes, Sec. VI-C) include every view attribute so queries
+    never touch the view itself; maintenance indexes (Sec. VII-C) are
+    key-only — they exist to *locate* view rows, which are then read
+    from the view.
+    """
+    name = name or f"{view_entry.name}.ix_{'_'.join(indexed_on)}"
+    key_attrs = tuple(dict.fromkeys(indexed_on + view_entry.key_attrs))
+    attrs = tuple(view_entry.attrs) if covered else key_attrs
+    entry = CatalogEntry(
+        name=name,
+        kind=VIEW_INDEX,
+        key_attrs=key_attrs,
+        attrs=attrs,
+        dtypes={a: view_entry.dtypes[a] for a in (
+            view_entry.attrs if covered else key_attrs
+        )},
+        base=view_entry.name,
+        view_path=view_entry.view_path,
+        indexed_on=tuple(indexed_on),
+    )
+    catalog.add_entry(entry)
+    client.create_table(entry.name, families=(CF,))
+    return entry

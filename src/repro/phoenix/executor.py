@@ -1,0 +1,113 @@
+"""PhoenixConnection: the JDBC-ish entry point.
+
+``execute_query`` plans + runs a SELECT and returns plain dict rows;
+``execute_write`` runs INSERT/UPDATE/DELETE with index maintenance.
+Dirty-row restarts (Synergy read-committed, paper Sec. VIII-C) are
+handled here: a scan observing a marked view row restarts the query.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DirtyReadRestart, PlanError, ReproError
+from repro.hbase.client import HBaseClient
+from repro.phoenix.catalog import Catalog
+from repro.phoenix.planner import PlannedQuery, Planner
+from repro.phoenix.plans import ExecutionContext, Row, _lookup
+from repro.phoenix.writes import WriteExecutor
+from repro.sim.latency import LatencyCharger
+from repro.sql.ast import Delete, Insert, Select, Statement, Update
+from repro.sql.parser import parse_statement
+
+MAX_DIRTY_RESTARTS = 32
+
+
+class PhoenixConnection:
+    """One client connection: SQL in, rows (and virtual latency) out."""
+
+    def __init__(
+        self,
+        client: HBaseClient,
+        catalog: Catalog,
+        dirty_check_views: bool = False,
+        mvcc_version_check: bool = False,
+    ) -> None:
+        self.client = client
+        self.catalog = catalog
+        self.sim = client.cluster.sim
+        self.charge = LatencyCharger(self.sim, "phoenix")
+        self.planner = Planner(catalog, dirty_check_views=dirty_check_views)
+        self.writer = WriteExecutor(client, catalog)
+        self.mvcc_version_check = mvcc_version_check
+        self.hashjoin_row_bytes = 150
+        self._plan_cache: dict[str, PlannedQuery] = {}
+
+    # -- queries -----------------------------------------------------------------------
+    def plan(self, select: Select | str) -> PlannedQuery:
+        if isinstance(select, str):
+            cached = self._plan_cache.get(select)
+            if cached is not None:
+                return cached
+            stmt = parse_statement(select)
+            if not isinstance(stmt, Select):
+                raise PlanError("plan() expects a SELECT statement")
+            planned = self.planner.plan_select(stmt)
+            self._plan_cache[select] = planned
+            return planned
+        return self.planner.plan_select(select)
+
+    def execute_query(
+        self, select: Select | str, params: tuple[Any, ...] = ()
+    ) -> list[dict[str, Any]]:
+        planned = self.plan(select)
+        self.sim.charge(self.sim.cost.phoenix_statement_ms, "phoenix.statement")
+        ctx = ExecutionContext(self, tuple(params))
+        attempts = 0
+        while True:
+            try:
+                rows = list(planned.root.execute(ctx))
+                break
+            except DirtyReadRestart:
+                attempts += 1
+                self.sim.metrics.counter("phoenix.dirty_restarts").inc()
+                if attempts >= MAX_DIRTY_RESTARTS:
+                    raise ReproError(
+                        "query kept observing in-flight view rows "
+                        f"after {attempts} restarts"
+                    ) from None
+        return [self._shape(planned, row) for row in rows]
+
+    @staticmethod
+    def _shape(planned: PlannedQuery, row: Row) -> dict[str, Any]:
+        return {name: _lookup(row, src) for name, src in planned.output}
+
+    # -- writes ------------------------------------------------------------------------
+    def execute_write(
+        self, stmt: Statement | str, params: tuple[Any, ...] = ()
+    ) -> int:
+        if isinstance(stmt, str):
+            stmt = parse_statement(stmt)
+        if isinstance(stmt, Insert):
+            return self.writer.execute_insert(stmt, tuple(params))
+        if isinstance(stmt, Update):
+            return self.writer.execute_update(stmt, tuple(params))
+        if isinstance(stmt, Delete):
+            return self.writer.execute_delete(stmt, tuple(params))
+        raise PlanError(f"not a write statement: {stmt}")
+
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        """Dispatch on statement type (SELECT -> rows, writes -> count)."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, Select):
+            return self.execute_query(stmt, params)
+        return self.execute_write(stmt, params)
+
+    # -- statistics ---------------------------------------------------------------------
+    def analyze(self) -> None:
+        """Refresh row-count statistics for every catalog entry."""
+        for entry in self.catalog.entries():
+            if self.client.has_table(entry.name):
+                self.catalog.stats[entry.name] = self.client.cluster.table_row_count(
+                    entry.name
+                )

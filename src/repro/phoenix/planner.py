@@ -1,0 +1,579 @@
+"""Query planner: SQL AST -> physical plan.
+
+Access-path selection mirrors Phoenix:
+
+* equality predicates that cover a leading prefix of a table/index key
+  become point gets or key-prefix scans;
+* covered indexes are preferred; non-covered index access adds a
+  per-row base-table lookup;
+* joins run as **index nested loops** whenever the inner side has a
+  usable key/index prefix on the join attributes, and as **broadcast
+  hash joins** otherwise;
+* leftover predicates (including theta-join residues like Q11's
+  ``ol2.ol_i_id <> ol.ol_i_id``) are applied as post-join filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.errors import PlanError, SqlError
+from repro.phoenix.catalog import Catalog, CatalogEntry, CatalogNamespace, VIEW, VIEW_INDEX
+from repro.sql.analyzer import (
+    AnalyzedSelect,
+    FilterCondition,
+    JoinCondition,
+    analyze_select,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    DerivedTable,
+    Expr,
+    FuncCall,
+    Literal,
+    Param,
+    Select,
+    Star,
+    TableRef,
+)
+from repro.phoenix.plans import (
+    AccessSpec,
+    ColumnPredicate,
+    FilterNode,
+    DistinctNode,
+    GroupByNode,
+    HashJoinNode,
+    LimitNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ScanNode,
+    SortNode,
+    SubqueryNode,
+    ValuePredicate,
+)
+
+Source = Union[tuple[str, str], str]
+PrefixSource = Union[tuple[str, str], Expr]
+
+
+@dataclass
+class PlannedQuery:
+    """Root plan plus the projection spec used to shape output rows."""
+
+    root: PlanNode
+    output: tuple[tuple[str, Source], ...]
+    """(output column name, row source) pairs, or expanded at runtime."""
+
+    select: Select
+
+    def explain(self) -> str:
+        return self.root.describe()
+
+
+ALL_ATTRS = None  # sentinel: binding needs every attribute (SELECT *)
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, dirty_check_views: bool = False) -> None:
+        self.catalog = catalog
+        self.namespace = CatalogNamespace(catalog)
+        self.dirty_check_views = dirty_check_views
+
+    # -- public ---------------------------------------------------------------------
+    def plan_select(self, select: Select) -> PlannedQuery:
+        analyzed = analyze_select(select, self.namespace)  # type: ignore[arg-type]
+
+        # derived tables become materialized sub-plans
+        derived: dict[str, SubqueryNode] = {}
+        derived_attrs: dict[str, tuple[str, ...]] = {}
+        for item in select.from_items:
+            if isinstance(item, DerivedTable):
+                node, names = self._plan_derived(item)
+                derived[item.alias] = node
+                derived_attrs[item.alias] = names
+
+        needed = self._needed_attrs(select, analyzed, derived_attrs)
+        root = self._plan_joins(select, analyzed, derived, derived_attrs, needed)
+
+        has_aggregates = any(
+            isinstance(p, FuncCall) for p in select.projections
+        )
+        output = self._output_spec(select, analyzed, derived_attrs)
+        if select.group_by or has_aggregates:
+            root = self._add_group_by(root, select, analyzed)
+        if select.distinct:
+            root = DistinctNode(root, keys=tuple(src for _, src in output))
+        if select.order_by:
+            keys = tuple(
+                (self._source_for(o.expr, analyzed), o.descending)
+                for o in select.order_by
+            )
+            root = SortNode(root, keys)
+        if select.limit is not None:
+            root = LimitNode(root, select.limit)
+
+        return PlannedQuery(root=root, output=output, select=select)
+
+    # -- derived tables ----------------------------------------------------------------
+    def _plan_derived(self, item: DerivedTable) -> tuple[SubqueryNode, tuple[str, ...]]:
+        sub = self.plan_select(item.select)
+        names = tuple(name for name, _ in sub.output)
+        sources = tuple(source for _, source in sub.output)
+        if not names:
+            raise PlanError(
+                f"derived table {item.alias!r} must have explicit projections"
+            )
+        node = SubqueryNode(
+            subplan=sub.root,
+            alias=item.alias,
+            output_names=names,
+            source_keys=sources,
+        )
+        return node, names
+
+    # -- needed attributes ----------------------------------------------------------------
+    def _needed_attrs(
+        self,
+        select: Select,
+        analyzed: AnalyzedSelect,
+        derived_attrs: dict[str, tuple[str, ...]],
+    ) -> dict[str, set[str] | None]:
+        needed: dict[str, set[str] | None] = {b: set() for b in analyzed.bindings}
+
+        def note(binding: str, attr: str) -> None:
+            s = needed.get(binding)
+            if s is not None:
+                s.add(attr)
+
+        def note_col(col: ColumnRef) -> None:
+            b, _ = self._resolve(col, analyzed)
+            note(b, col.name)
+
+        for p in select.projections:
+            if isinstance(p, Star):
+                if p.qualifier is None:
+                    for b in needed:
+                        needed[b] = ALL_ATTRS
+                else:
+                    needed[p.qualifier] = ALL_ATTRS
+            elif isinstance(p, ColumnRef):
+                note_col(p)
+            elif isinstance(p, FuncCall):
+                for a in p.args:
+                    if isinstance(a, ColumnRef):
+                        note_col(a)
+        for j in analyzed.joins:
+            note(j.left_binding, j.left_attr)
+            note(j.right_binding, j.right_attr)
+        for f in analyzed.filters:
+            note(f.binding, f.attr)
+        for g in select.group_by:
+            note_col(g)
+        for o in select.order_by:
+            if isinstance(o.expr, ColumnRef):
+                note_col(o.expr)
+            elif isinstance(o.expr, FuncCall):
+                for a in o.expr.args:
+                    if isinstance(a, ColumnRef):
+                        note_col(a)
+        return needed
+
+    def _resolve(
+        self, col: ColumnRef, analyzed: AnalyzedSelect
+    ) -> tuple[str, str | None]:
+        if col.qualifier is not None:
+            if col.qualifier not in analyzed.bindings:
+                raise SqlError(f"unknown alias {col.qualifier!r}")
+            return col.qualifier, analyzed.bindings[col.qualifier]
+        owners = []
+        for b, rel in analyzed.bindings.items():
+            if rel is not None and self.namespace.has_relation(rel):
+                if self.namespace.relation(rel).has_attribute(col.name):
+                    owners.append((b, rel))
+        if len(owners) == 1:
+            return owners[0]
+        if not owners:
+            # may be an aggregate alias handled by bare-name lookup
+            return ("", None)
+        raise SqlError(f"ambiguous column {col.name!r}")
+
+    def _source_for(self, expr: Expr, analyzed: AnalyzedSelect) -> Source:
+        if isinstance(expr, ColumnRef):
+            b, _ = self._resolve(expr, analyzed)
+            if b == "":
+                return expr.name  # bare-name / aggregate-alias lookup
+            return (b, expr.name)
+        if isinstance(expr, FuncCall):
+            return str(expr)
+        raise PlanError(f"unsupported expression in this clause: {expr}")
+
+    # -- join planning ----------------------------------------------------------------
+    def _entry_for_binding(
+        self, binding: str, analyzed: AnalyzedSelect
+    ) -> CatalogEntry | None:
+        rel = analyzed.bindings[binding]
+        if rel is None:
+            return None
+        return self.catalog.resolve_from_name(rel)
+
+    def _plan_joins(
+        self,
+        select: Select,
+        analyzed: AnalyzedSelect,
+        derived: dict[str, SubqueryNode],
+        derived_attrs: dict[str, tuple[str, ...]],
+        needed: dict[str, set[str] | None],
+    ) -> PlanNode:
+        bindings = list(analyzed.bindings)
+        eq_filters: dict[str, dict[str, Expr]] = {b: {} for b in bindings}
+        other_filters: dict[str, list[FilterCondition]] = {b: [] for b in bindings}
+        for f in analyzed.filters:
+            if f.op == "=" and isinstance(f.value, (Literal, Param)):
+                eq_filters[f.binding][f.attr] = f.value
+            else:
+                other_filters[f.binding].append(f)
+
+        # choose the starting binding: strongest access path first
+        def start_score(b: str) -> tuple:
+            entry = self._entry_for_binding(b, analyzed)
+            if entry is None:
+                return (2, 0)
+            prefix, _, _ = self._best_access(
+                entry, set(eq_filters[b]), needed[b]
+            )
+            est = self.catalog.estimated_rows(entry.name)
+            return (0 if prefix else 1, est)
+
+        remaining = sorted(bindings, key=start_score)
+        first = remaining.pop(0)
+        joined: list[str] = [first]
+        plan = self._leaf_plan(
+            first, analyzed, derived, eq_filters, other_filters, needed
+        )
+        consumed: set[int] = set()
+        pending_joins = list(enumerate(analyzed.joins))
+
+        while remaining:
+            # prefer a binding connected to the joined set by an equi-join
+            next_b = None
+            for b in remaining:
+                if any(
+                    self._join_connects(j, b, joined)
+                    for _, j in pending_joins
+                    if j.is_equi
+                ):
+                    next_b = b
+                    break
+            if next_b is None:
+                for b in remaining:
+                    if any(self._join_connects(j, b, joined) for _, j in pending_joins):
+                        next_b = b
+                        break
+            if next_b is None:
+                next_b = remaining[0]  # cross product
+            remaining.remove(next_b)
+
+            plan, newly_consumed = self._attach_binding(
+                plan,
+                next_b,
+                joined,
+                analyzed,
+                derived,
+                eq_filters,
+                other_filters,
+                needed,
+                [(i, j) for i, j in pending_joins if i not in consumed],
+            )
+            consumed.update(newly_consumed)
+            joined.append(next_b)
+
+        # residual join predicates (theta residues, unused equalities)
+        residual_preds = []
+        for i, j in pending_joins:
+            if i in consumed:
+                continue
+            residual_preds.append(
+                ColumnPredicate(
+                    left=(j.left_binding, j.left_attr),
+                    op=j.op,
+                    right=(j.right_binding, j.right_attr),
+                )
+            )
+        # filters on derived-table bindings
+        for b, conds in other_filters.items():
+            if analyzed.bindings[b] is None:
+                for f in conds:
+                    residual_preds.append(
+                        ValuePredicate(b, f.attr, f.op, f.value)  # type: ignore[arg-type]
+                    )
+        for b, eqs in eq_filters.items():
+            if analyzed.bindings[b] is None:
+                for attr, expr in eqs.items():
+                    residual_preds.append(ValuePredicate(b, attr, "=", expr))
+        if residual_preds:
+            plan = FilterNode(plan, tuple(residual_preds))
+        return plan
+
+    @staticmethod
+    def _join_connects(j: JoinCondition, b: str, joined: list[str]) -> bool:
+        if j.left_binding == b and j.right_binding in joined:
+            return True
+        if j.right_binding == b and j.left_binding in joined:
+            return True
+        return False
+
+    def _leaf_plan(
+        self,
+        binding: str,
+        analyzed: AnalyzedSelect,
+        derived: dict[str, SubqueryNode],
+        eq_filters: dict[str, dict[str, Expr]],
+        other_filters: dict[str, list[FilterCondition]],
+        needed: dict[str, set[str] | None],
+    ) -> PlanNode:
+        if analyzed.bindings[binding] is None:
+            return derived[binding]
+        entry = self._entry_for_binding(binding, analyzed)
+        assert entry is not None
+        prefix_attrs, access_entry, lookup = self._best_access(
+            entry, set(eq_filters[binding]), needed[binding]
+        )
+        residuals = self._residual_predicates(
+            binding, access_entry, prefix_attrs, eq_filters, other_filters
+        )
+        access = AccessSpec(
+            entry=access_entry,
+            binding=binding,
+            prefix_attrs=prefix_attrs,
+            residuals=residuals,
+            lookup_entry=lookup,
+        )
+        prefix_exprs = tuple(eq_filters[binding][a] for a in prefix_attrs)
+        return ScanNode(
+            access=access,
+            prefix_exprs=prefix_exprs,
+            check_dirty=self._check_dirty(access_entry),
+        )
+
+    def _check_dirty(self, entry: CatalogEntry) -> bool:
+        return self.dirty_check_views and entry.kind in (VIEW, VIEW_INDEX)
+
+    def _residual_predicates(
+        self,
+        binding: str,
+        access_entry: CatalogEntry,
+        prefix_attrs: tuple[str, ...],
+        eq_filters: dict[str, dict[str, Expr]],
+        other_filters: dict[str, list[FilterCondition]],
+    ) -> tuple[ValuePredicate, ...]:
+        preds: list[ValuePredicate] = []
+        for attr, expr in eq_filters[binding].items():
+            if attr not in prefix_attrs:
+                preds.append(ValuePredicate(binding, attr, "=", expr))
+        for f in other_filters[binding]:
+            if isinstance(f.value, ColumnRef):
+                # same-binding column/column condition — rare; evaluate via
+                # a column predicate after the scan instead
+                continue
+            preds.append(ValuePredicate(binding, f.attr, f.op, f.value))  # type: ignore[arg-type]
+        return tuple(preds)
+
+    def _best_access(
+        self,
+        entry: CatalogEntry,
+        available: set[str],
+        needed: set[str] | None,
+    ) -> tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]:
+        """Pick the physical entry (base or index) with the longest usable
+        key prefix. Returns (prefix_attrs, chosen_entry, lookup_entry)."""
+        candidates: list[tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]] = []
+        for cand in [entry, *self.catalog.indexes_for(entry)]:
+            prefix: list[str] = []
+            for k in cand.key_attrs:
+                if k in available:
+                    prefix.append(k)
+                else:
+                    break
+            covered = (
+                needed is None and set(cand.attrs) >= set(entry.attrs)
+            ) or (needed is not None and needed <= set(cand.attrs))
+            lookup = None if (cand is entry or covered) else entry
+            candidates.append((tuple(prefix), cand, lookup))
+
+        def rank(c: tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]):
+            prefix, cand, lookup = c
+            return (
+                len(prefix),            # longest prefix wins
+                cand is entry,          # prefer base table over index on ties
+                lookup is None,         # prefer covered access
+            )
+
+        best = max(candidates, key=rank)
+        if not best[0]:
+            return ((), entry, None)  # full scan of the base entry
+        return best
+
+    def _attach_binding(
+        self,
+        plan: PlanNode,
+        binding: str,
+        joined: list[str],
+        analyzed: AnalyzedSelect,
+        derived: dict[str, SubqueryNode],
+        eq_filters: dict[str, dict[str, Expr]],
+        other_filters: dict[str, list[FilterCondition]],
+        needed: dict[str, set[str] | None],
+        pending: list[tuple[int, JoinCondition]],
+    ) -> tuple[PlanNode, set[int]]:
+        """Join ``binding`` into ``plan``; returns (plan, consumed join ids)."""
+        # equi-join conditions connecting this binding to the joined set
+        conds: list[tuple[int, str, tuple[str, str]]] = []  # (id, inner attr, outer key)
+        for i, j in pending:
+            if not j.is_equi or not self._join_connects(j, binding, joined):
+                continue
+            if j.left_binding == binding:
+                conds.append((i, j.left_attr, (j.right_binding, j.right_attr)))
+            else:
+                conds.append((i, j.right_attr, (j.left_binding, j.left_attr)))
+
+        entry = self._entry_for_binding(binding, analyzed)
+        if entry is None:
+            # derived table: hash join (or cartesian when no equi conds)
+            build = derived[binding]
+            probe_keys = tuple(outer for _, _, outer in conds)
+            build_keys = tuple((binding, attr) for _, attr, _ in conds)
+            consumed = {i for i, _, _ in conds}
+            return (
+                HashJoinNode(
+                    probe=plan,
+                    build=build,
+                    probe_keys=probe_keys,
+                    build_keys=build_keys,
+                ),
+                consumed,
+            )
+
+        available = set(eq_filters[binding]) | {attr for _, attr, _ in conds}
+        prefix_attrs, access_entry, lookup = self._best_access(
+            entry, available, needed[binding]
+        )
+        if prefix_attrs:
+            # index nested-loop join
+            residuals = self._residual_predicates(
+                binding, access_entry, prefix_attrs, eq_filters, other_filters
+            )
+            access = AccessSpec(
+                entry=access_entry,
+                binding=binding,
+                prefix_attrs=prefix_attrs,
+                residuals=residuals,
+                lookup_entry=lookup,
+            )
+            outer_keys: list[PrefixSource] = []
+            consumed: set[int] = set()
+            for attr in prefix_attrs:
+                join_source = next(
+                    ((i, outer) for i, a, outer in conds if a == attr), None
+                )
+                if join_source is not None:
+                    consumed.add(join_source[0])
+                    outer_keys.append(join_source[1])
+                else:
+                    outer_keys.append(eq_filters[binding][attr])
+            # equi conds not in the prefix remain as post-join predicates —
+            # both sides are present in the merged row, handled by caller.
+            node = NestedLoopJoinNode(
+                outer=plan,
+                inner=access,
+                outer_keys=tuple(outer_keys),  # type: ignore[arg-type]
+                check_dirty=self._check_dirty(access_entry),
+            )
+            return node, consumed
+
+        # no index path: broadcast hash join on the equi conditions
+        build = self._leaf_plan(
+            binding, analyzed, derived, eq_filters, other_filters, needed
+        )
+        probe_keys = tuple(outer for _, _, outer in conds)
+        build_keys = tuple((binding, attr) for _, attr, _ in conds)
+        consumed = {i for i, _, _ in conds}
+        return (
+            HashJoinNode(
+                probe=plan, build=build, probe_keys=probe_keys, build_keys=build_keys
+            ),
+            consumed,
+        )
+
+    # -- aggregation ------------------------------------------------------------------
+    def _add_group_by(
+        self, root: PlanNode, select: Select, analyzed: AnalyzedSelect
+    ) -> PlanNode:
+        group_keys = tuple(self._source_for(g, analyzed) for g in select.group_by)
+        aggregates: list[tuple[str, str, Source | None]] = []
+        for p in select.projections:
+            if isinstance(p, FuncCall):
+                source: Source | None
+                if p.star:
+                    source = None
+                else:
+                    if len(p.args) != 1 or not isinstance(p.args[0], ColumnRef):
+                        raise PlanError(f"unsupported aggregate argument: {p}")
+                    source = self._source_for(p.args[0], analyzed)
+                aggregates.append((str(p), p.name, source))
+        for o in select.order_by:
+            if isinstance(o.expr, FuncCall) and not any(
+                a[0] == str(o.expr) for a in aggregates
+            ):
+                src = (
+                    None
+                    if o.expr.star
+                    else self._source_for(o.expr.args[0], analyzed)
+                )
+                aggregates.append((str(o.expr), o.expr.name, src))
+        return GroupByNode(
+            child=root, group_keys=group_keys, aggregates=tuple(aggregates)
+        )
+
+    # -- output -----------------------------------------------------------------------
+    def _output_spec(
+        self,
+        select: Select,
+        analyzed: AnalyzedSelect,
+        derived_attrs: dict[str, tuple[str, ...]],
+    ) -> tuple[tuple[str, Source], ...]:
+        out: list[tuple[str, Source]] = []
+        for p in select.projections:
+            if isinstance(p, Star):
+                targets = (
+                    [p.qualifier] if p.qualifier is not None else list(analyzed.bindings)
+                )
+                for b in targets:
+                    rel = analyzed.bindings[b]
+                    if rel is None:
+                        attrs: tuple[str, ...] = derived_attrs[b]
+                    else:
+                        attrs = self.catalog.resolve_from_name(rel).attrs
+                    for a in attrs:
+                        out.append((a, (b, a)))
+            elif isinstance(p, ColumnRef):
+                src = self._source_for(p, analyzed)
+                out.append((p.name, src))
+            elif isinstance(p, FuncCall):
+                out.append((str(p), str(p)))
+            else:
+                raise PlanError(f"unsupported projection {p}")
+        # de-duplicate output names (self-joins project the same attr twice)
+        seen: dict[str, int] = {}
+        final: list[tuple[str, Source]] = []
+        for name, src in out:
+            if name in seen:
+                seen[name] += 1
+                qualified = (
+                    f"{src[0]}.{name}" if isinstance(src, tuple) else f"{name}_{seen[name]}"
+                )
+                final.append((qualified, src))
+            else:
+                seen[name] = 0
+                final.append((name, src))
+        return tuple(final)

@@ -1,0 +1,528 @@
+"""Physical plan operators (iterator model).
+
+Rows flowing between operators are ``dict[(binding, attr)] -> value``:
+keying by FROM-binding keeps self-joins (``Item as I, Item as J``)
+unambiguous. Every operator charges virtual time through the HBase
+client it drives; plan shape therefore *is* the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import DirtyReadRestart, PlanError
+from repro.hbase.bytes_util import prefix_stop
+from repro.hbase.filters import AndFilter, ColumnValueFilter, FilterBase
+from repro.hbase.ops import Get, Scan
+from repro.phoenix.catalog import CF, Catalog, CatalogEntry
+from repro.relational.datatypes import encode_value
+from repro.sql.ast import Expr, Literal, Param
+
+Row = dict[tuple[str, str], Any]
+
+DIRTY_QUALIFIER = b"_d"
+DIRTY_MARK = b"\x01"
+
+_PY_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compare(op: str, a: Any, b: Any) -> bool:
+    """SQL-ish comparison: anything against NULL is false."""
+    if a is None or b is None:
+        return False
+    return _PY_OPS[op](a, b)
+
+
+class ExecutionContext:
+    """Carries the connection, bound parameters and restart bookkeeping."""
+
+    def __init__(self, conn: "PhoenixConnection", params: tuple[Any, ...]) -> None:
+        self.conn = conn
+        self.params = params
+
+    def eval(self, expr: Expr) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Param):
+            try:
+                return self.params[expr.index]
+            except IndexError:
+                raise PlanError(
+                    f"statement has parameter ?{expr.index} but only "
+                    f"{len(self.params)} values were bound"
+                ) from None
+        raise PlanError(f"cannot evaluate expression {expr!r} at runtime")
+
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phoenix.executor import PhoenixConnection
+
+
+# ---------------------------------------------------------------- predicates
+@dataclass(frozen=True)
+class ValuePredicate:
+    """``(binding, attr) op constant-expression`` — residual filter."""
+
+    binding: str
+    attr: str
+    op: str
+    value_expr: Expr
+
+    def test(self, row: Row, ctx: ExecutionContext) -> bool:
+        return compare(self.op, row.get((self.binding, self.attr)), ctx.eval(self.value_expr))
+
+
+@dataclass(frozen=True)
+class ColumnPredicate:
+    """``(binding, attr) op (binding2, attr2)`` — e.g. theta-join residue."""
+
+    left: tuple[str, str]
+    op: str
+    right: tuple[str, str]
+
+    def test(self, row: Row, ctx: ExecutionContext) -> bool:
+        return compare(self.op, row.get(self.left), row.get(self.right))
+
+
+Predicate = ValuePredicate | ColumnPredicate
+
+
+# ---------------------------------------------------------------- base access
+@dataclass
+class AccessSpec:
+    """How to reach rows of one catalog entry for one binding.
+
+    ``prefix_attrs`` name the leading key attributes whose values are
+    known (from filters or, in a nested loop, from the outer row);
+    ``residuals`` are pushed server-side as column-value filters when
+    they touch non-key attributes.
+    """
+
+    entry: CatalogEntry
+    binding: str
+    prefix_attrs: tuple[str, ...] = ()
+    residuals: tuple[ValuePredicate, ...] = ()
+    lookup_entry: CatalogEntry | None = None
+    """Non-covered index access: Get this base entry per matched row."""
+
+    def is_point(self) -> bool:
+        return len(self.prefix_attrs) == len(self.entry.key_attrs)
+
+    def _server_filter(self, ctx: ExecutionContext) -> FilterBase | None:
+        filters: list[FilterBase] = []
+        for pred in self.residuals:
+            if pred.attr in self.entry.key_attrs:
+                continue  # applied client-side after decode
+            encoded = encode_value(
+                self.entry.dtypes[pred.attr], ctx.eval(pred.value_expr)
+            )
+            filters.append(
+                ColumnValueFilter(CF, pred.attr.encode(), pred.op, encoded)
+            )
+        if not filters:
+            return None
+        return filters[0] if len(filters) == 1 else AndFilter(tuple(filters))
+
+    def fetch(
+        self,
+        ctx: ExecutionContext,
+        prefix_values: list[Any],
+        check_dirty: bool,
+    ) -> Iterator[Row]:
+        """Stream decoded rows for the given prefix values."""
+        table = ctx.conn.client.table(self.entry.name)
+        if None in prefix_values:
+            return  # NULL never equi-matches anything
+        if self.is_point():
+            key = self.entry.encode_key_values(prefix_values)
+            result = table.get(Get(key))
+            results = [] if result is None else [result]
+        else:
+            if prefix_values:
+                prefix = self.entry.encode_key_prefix(prefix_values)
+                scan = Scan(start_row=prefix, stop_row=prefix_stop(prefix))
+            else:
+                scan = Scan()
+            scan.filter = self._server_filter(ctx)
+            results = table.scan(scan)
+        for result in results:
+            if check_dirty and result.value(CF, DIRTY_QUALIFIER) == DIRTY_MARK:
+                raise DirtyReadRestart(self.entry.name)
+            if ctx.conn.mvcc_version_check:
+                ctx.conn.charge.version_checks(len(result.columns()))
+            raw = self.entry.result_to_row(result)
+            if self.lookup_entry is not None:
+                base_table = ctx.conn.client.table(self.lookup_entry.name)
+                base_result = base_table.get(
+                    Get(self.lookup_entry.encode_key(raw))
+                )
+                if base_result is None:
+                    continue
+                raw = self.lookup_entry.result_to_row(base_result)
+            row: Row = {(self.binding, a): v for a, v in raw.items()}
+            ok = True
+            for pred in self.residuals:
+                if pred.attr in self.entry.key_attrs or self.is_point():
+                    if not pred.test(row, ctx):
+                        ok = False
+                        break
+            if ok:
+                yield row
+
+
+# ---------------------------------------------------------------- plan nodes
+class PlanNode:
+    """Base class; subclasses implement :meth:`execute`."""
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self._label()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Leaf access: point get, prefix scan, index scan or full scan."""
+
+    access: AccessSpec
+    prefix_exprs: tuple[Expr, ...] = ()
+    check_dirty: bool = False
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        values = [ctx.eval(e) for e in self.prefix_exprs]
+        yield from self.access.fetch(ctx, values, self.check_dirty)
+
+    def _label(self) -> str:
+        entry = self.access.entry
+        kind = "POINT GET" if self.access.is_point() else (
+            "PREFIX SCAN" if self.access.prefix_attrs else "FULL SCAN"
+        )
+        return (
+            f"{kind} {entry.name} [{entry.kind}] as {self.access.binding} "
+            f"prefix={self.access.prefix_attrs}"
+        )
+
+
+@dataclass
+class MaterializedNode(PlanNode):
+    """In-memory rows (derived tables after sub-plan execution)."""
+
+    rows: list[Row] = field(default_factory=list)
+    label: str = "materialized"
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        yield from self.rows
+
+    def _label(self) -> str:
+        return f"MATERIALIZED {self.label} ({len(self.rows)} rows)"
+
+
+@dataclass
+class SubqueryNode(PlanNode):
+    """Plans and materializes a derived table at execution time."""
+
+    subplan: PlanNode
+    alias: str
+    output_names: tuple[str, ...]
+    source_keys: tuple[tuple[str, str] | str, ...]
+    """For each output name, which sub-row key (or aggregate name) feeds it."""
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for sub_row in self.subplan.execute(ctx):
+            row: Row = {}
+            for out_name, source in zip(self.output_names, self.source_keys):
+                row[(self.alias, out_name)] = _lookup(sub_row, source)
+            yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.subplan,)
+
+    def _label(self) -> str:
+        return f"DERIVED TABLE as {self.alias} -> {self.output_names}"
+
+
+def _lookup(row: Row, source: tuple[str, str] | str) -> Any:
+    if isinstance(source, tuple):
+        return row.get(source)
+    # aggregate or unique-attr lookup by bare name
+    matches = [v for (b, a), v in row.items() if a == source]
+    return matches[0] if matches else None
+
+
+@dataclass
+class NestedLoopJoinNode(PlanNode):
+    """Index nested-loop join: one inner access per outer row.
+
+    This is the RPC-per-probe join whose cost the paper's
+    micro-benchmark measures against view scans (Fig. 10).
+    """
+
+    outer: PlanNode
+    inner: AccessSpec
+    outer_keys: tuple[tuple[str, str] | Expr, ...]
+    """Sources of the inner prefix values, aligned with
+    ``inner.prefix_attrs``: either an outer-row key (binding, attr) or a
+    constant expression (literal/parameter filter on the inner side)."""
+    check_dirty: bool = False
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for outer_row in self.outer.execute(ctx):
+            values = [
+                outer_row.get(k) if isinstance(k, tuple) else ctx.eval(k)
+                for k in self.outer_keys
+            ]
+            for inner_row in self.inner.fetch(ctx, values, self.check_dirty):
+                merged = dict(outer_row)
+                merged.update(inner_row)
+                yield merged
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.outer,)
+
+    def _label(self) -> str:
+        return (
+            f"NL JOIN -> {self.inner.entry.name} as {self.inner.binding} "
+            f"on {self.outer_keys}"
+        )
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Broadcast hash join: build side fully scanned, hashed and (as in
+    Phoenix) shipped to every region server; probe side streams."""
+
+    probe: PlanNode
+    build: PlanNode
+    probe_keys: tuple[tuple[str, str], ...]
+    build_keys: tuple[tuple[str, str], ...]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        table: dict[tuple, list[Row]] = {}
+        build_rows = 0
+        for row in self.build.execute(ctx):
+            key = tuple(row.get(k) for k in self.build_keys)
+            if None in key:
+                continue
+            table.setdefault(key, []).append(row)
+            build_rows += 1
+        # broadcast cost: build relation shipped to each region server
+        cost = ctx.conn.sim.cost
+        n_servers = len(ctx.conn.client.cluster.servers)
+        approx_bytes = build_rows * ctx.conn.hashjoin_row_bytes * n_servers
+        ctx.conn.charge.transfer(approx_bytes)
+        ctx.conn.sim.metrics.counter("phoenix.hashjoin_broadcast_rows").inc(
+            build_rows
+        )
+        for row in self.probe.execute(ctx):
+            key = tuple(row.get(k) for k in self.probe_keys)
+            if None in key:
+                continue
+            for match in table.get(key, ()):
+                merged = dict(row)
+                merged.update(match)
+                yield merged
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.probe, self.build)
+
+    def _label(self) -> str:
+        return f"HASH JOIN on probe={self.probe_keys} build={self.build_keys}"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    predicates: tuple[Predicate, ...]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for row in self.child.execute(ctx):
+            if all(p.test(row, ctx) for p in self.predicates):
+                yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"FILTER {self.predicates}"
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    keys: tuple[tuple[tuple[str, str] | str, bool], ...]
+    """((source, descending), ...); source may be an aggregate name."""
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        rows = list(self.child.execute(ctx))
+        # charge client-side sort work (Phoenix sorts in the client/driver)
+        ctx.conn.sim.charge(0.0005 * len(rows), "phoenix.sort")
+
+        def sort_key(row: Row):
+            parts = []
+            for source, desc in self.keys:
+                v = _lookup(row, source)
+                parts.append(_OrderKey(v, desc))
+            return tuple(parts)
+
+        rows.sort(key=sort_key)
+        yield from rows
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"SORT {self.keys}"
+
+
+class _OrderKey:
+    """Total order over heterogeneous/None values, with DESC support."""
+
+    __slots__ = ("value", "desc")
+
+    def __init__(self, value: Any, desc: bool) -> None:
+        self.value = value
+        self.desc = desc
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.desc  # NULLs first ASC, last DESC
+        if b is None:
+            return self.desc
+        return (a > b) if self.desc else (a < b)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+@dataclass
+class GroupByNode(PlanNode):
+    """Hash aggregation. Aggregate outputs appear under binding ``""``
+    keyed by the canonical call text (e.g. ``SUM(ol_qty)``)."""
+
+    child: PlanNode
+    group_keys: tuple[tuple[str, str] | str, ...]
+    aggregates: tuple[tuple[str, str, tuple[str, str] | str | None], ...]
+    """(output_name, func, source) — source None for COUNT(*)."""
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        groups: dict[tuple, list[Row]] = {}
+        group_reps: dict[tuple, Row] = {}
+        for row in self.child.execute(ctx):
+            key = tuple(_lookup(row, g) for g in self.group_keys)
+            groups.setdefault(key, []).append(row)
+            group_reps.setdefault(key, row)
+        ctx.conn.sim.charge(
+            0.0005 * sum(len(v) for v in groups.values()), "phoenix.groupby"
+        )
+        for key, rows in groups.items():
+            out: Row = {}
+            rep = group_reps[key]
+            for g in self.group_keys:
+                if isinstance(g, tuple):
+                    out[g] = rep.get(g)
+                else:
+                    out[("", g)] = _lookup(rep, g)
+            for out_name, func, source in self.aggregates:
+                values = (
+                    [1 for _ in rows]
+                    if source is None
+                    else [_lookup(r, source) for r in rows]
+                )
+                values = [v for v in values if v is not None]
+                out[("", out_name)] = _aggregate(func, values)
+            yield out
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"GROUP BY {self.group_keys} aggs={self.aggregates}"
+
+
+def _aggregate(func: str, values: list[Any]) -> Any:
+    if func == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if func == "SUM":
+        return sum(values)
+    if func == "MIN":
+        return min(values)
+    if func == "MAX":
+        return max(values)
+    if func == "AVG":
+        return sum(values) / len(values)
+    raise PlanError(f"unknown aggregate {func}")  # pragma: no cover
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: int
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        emitted = 0
+        for row in self.child.execute(ctx):
+            if emitted >= self.limit:
+                return
+            emitted += 1
+            yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"LIMIT {self.limit}"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """Deduplicate on the projected columns (SQL DISTINCT semantics).
+    ``keys`` are the output sources; empty means whole-row distinct."""
+
+    child: PlanNode
+    keys: tuple[tuple[str, str] | str, ...] = ()
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child.execute(ctx):
+            if self.keys:
+                key = tuple(_hashable(_lookup(row, k)) for k in self.keys)
+            else:
+                key = tuple(
+                    (k, _hashable(v))
+                    for k, v in sorted(row.items(), key=lambda kv: kv[0])
+                )
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def _hashable(v: Any) -> Any:
+    return tuple(v) if isinstance(v, list) else v

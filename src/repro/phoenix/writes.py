@@ -1,0 +1,149 @@
+"""Single-row write execution with base-table index maintenance.
+
+The paper's baseline workload transformation only admits write
+statements that specify **every key attribute** (Sec. II-D); we enforce
+that here. Each logical write fans out to the base table plus all its
+covered indexes (Phoenix-style global indexes):
+
+* INSERT: one Put per physical table;
+* DELETE: read the old row (for index keys), then one Delete each;
+* UPDATE: read-modify-write; indexes touching a changed attribute get a
+  Delete of the stale entry plus a Put of the fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UnsupportedStatementError, WorkloadError
+from repro.hbase.client import HBaseClient
+from repro.hbase.ops import Delete as HDelete, Get
+from repro.phoenix.catalog import Catalog, CatalogEntry
+from repro.sql.ast import ColumnRef, Delete, Insert, Literal, Param, Update
+
+
+def eval_const(expr: Any, params: tuple[Any, ...]) -> Any:
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Param):
+        return params[expr.index]
+    raise UnsupportedStatementError(f"non-constant expression in write: {expr}")
+
+
+def key_from_where(
+    entry: CatalogEntry, where, params: tuple[Any, ...]
+) -> dict[str, Any]:
+    """Extract the full primary key from equality conjuncts; reject
+    statements that might touch multiple rows."""
+    eq: dict[str, Any] = {}
+    for cond in where:
+        col = cond.left if isinstance(cond.left, ColumnRef) else cond.right
+        val = cond.right if isinstance(cond.left, ColumnRef) else cond.left
+        if not isinstance(col, ColumnRef) or cond.op != "=":
+            raise UnsupportedStatementError(
+                f"write WHERE clause must be key-equality only: {cond}"
+            )
+        eq[col.name] = eval_const(val, params)
+    missing = [k for k in entry.key_attrs if k not in eq]
+    if missing:
+        raise UnsupportedStatementError(
+            f"{entry.name}: write must specify all key attributes; "
+            f"missing {missing} (multi-row writes are not supported)"
+        )
+    return eq
+
+
+class WriteExecutor:
+    """Applies row-level writes to a base table and its indexes."""
+
+    def __init__(self, client: HBaseClient, catalog: Catalog) -> None:
+        self.client = client
+        self.catalog = catalog
+
+    # -- row-level API (used by loaders and the Synergy procedures) -----------------
+    def insert_row(
+        self, relation: str, row: dict[str, Any], maintain_indexes: bool = True
+    ) -> None:
+        entry = self.catalog.table_for_relation(relation)
+        self._validate_row(entry, row)
+        self.client.table(entry.name).put(entry.row_to_put(row))
+        if maintain_indexes:
+            for index in self.catalog.indexes_for_relation(relation):
+                self.client.table(index.name).put(index.row_to_put(row))
+
+    def read_row(self, relation: str, key: dict[str, Any]) -> dict[str, Any] | None:
+        entry = self.catalog.table_for_relation(relation)
+        result = self.client.table(entry.name).get(Get(entry.encode_key(key)))
+        return None if result is None else entry.result_to_row(result)
+
+    def delete_row(self, relation: str, key: dict[str, Any]) -> dict[str, Any] | None:
+        """Delete base row + index entries; returns the old row (or None)."""
+        entry = self.catalog.table_for_relation(relation)
+        old = self.read_row(relation, key)
+        if old is None:
+            return None
+        self.client.table(entry.name).delete(HDelete(entry.encode_key(key)))
+        for index in self.catalog.indexes_for_relation(relation):
+            self.client.table(index.name).delete(HDelete(index.encode_key(old)))
+        return old
+
+    def update_row(
+        self, relation: str, key: dict[str, Any], changes: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Read-modify-write; returns the new row, or None when absent."""
+        entry = self.catalog.table_for_relation(relation)
+        for attr in changes:
+            if attr in entry.key_attrs:
+                raise UnsupportedStatementError(
+                    f"{relation}: updating key attribute {attr!r} is not supported"
+                )
+        old = self.read_row(relation, key)
+        if old is None:
+            return None
+        new = dict(old)
+        new.update(changes)
+        self.client.table(entry.name).put(entry.row_to_put(new))
+        for index in self.catalog.indexes_for_relation(relation):
+            if any(attr in index.attrs for attr in changes):
+                old_key = index.encode_key(old)
+                new_key = index.encode_key(new)
+                if old_key != new_key:
+                    self.client.table(index.name).delete(HDelete(old_key))
+                self.client.table(index.name).put(index.row_to_put(new))
+        return new
+
+    # -- statement-level API --------------------------------------------------------
+    def execute_insert(self, stmt: Insert, params: tuple[Any, ...]) -> int:
+        entry = self.catalog.table_for_relation(stmt.table)
+        columns = stmt.columns or entry.attrs
+        if len(columns) != len(stmt.values):
+            raise WorkloadError(
+                f"INSERT {stmt.table}: {len(columns)} columns vs "
+                f"{len(stmt.values)} values"
+            )
+        row = {c: eval_const(v, params) for c, v in zip(columns, stmt.values)}
+        missing = [k for k in entry.key_attrs if k not in row]
+        if missing:
+            raise UnsupportedStatementError(
+                f"INSERT {stmt.table}: missing key attributes {missing}"
+            )
+        self.insert_row(stmt.table, row)
+        return 1
+
+    def execute_update(self, stmt: Update, params: tuple[Any, ...]) -> int:
+        entry = self.catalog.table_for_relation(stmt.table)
+        key = key_from_where(entry, stmt.where, params)
+        changes = {c: eval_const(v, params) for c, v in stmt.assignments}
+        return 0 if self.update_row(stmt.table, key, changes) is None else 1
+
+    def execute_delete(self, stmt: Delete, params: tuple[Any, ...]) -> int:
+        entry = self.catalog.table_for_relation(stmt.table)
+        key = key_from_where(entry, stmt.where, params)
+        return 0 if self.delete_row(stmt.table, key) is None else 1
+
+    # -- helpers -----------------------------------------------------------------------
+    @staticmethod
+    def _validate_row(entry: CatalogEntry, row: dict[str, Any]) -> None:
+        unknown = [a for a in row if a not in entry.dtypes]
+        if unknown:
+            raise WorkloadError(f"{entry.name}: unknown attributes {unknown}")

@@ -1,0 +1,121 @@
+"""The paper's Company example database (Fig. 2) and workload (Sec. V-B2).
+
+Used throughout the unit tests to check that candidate-view generation
+reproduces the paper's intermediate artefacts exactly:
+
+* schema graph of Fig. 4(a),
+* DAG of Fig. 5(a) (edge ``(AID, EOffice_AID)`` removed),
+* rooted graphs of Fig. 5(c),
+* rooted trees of Fig. 4(b),
+
+with roots ``Q_company = {Address, Department}``.
+"""
+
+from __future__ import annotations
+
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, Index, Relation, Schema
+from repro.relational.workload import Workload
+
+INT = DataType.INT
+VARCHAR = DataType.VARCHAR
+
+COMPANY_ROOTS = ("Address", "Department")
+
+
+def company_schema() -> Schema:
+    """Build the Company schema of Fig. 2 (with base-table indexes on FKs)."""
+    address = Relation(
+        "Address",
+        [("AID", INT), ("Street", VARCHAR), ("City", VARCHAR), ("Zip", VARCHAR)],
+        primary_key=["AID"],
+    )
+    employee = Relation(
+        "Employee",
+        [
+            ("EID", INT),
+            ("EName", VARCHAR),
+            ("EHome_AID", INT),
+            ("EOffice_AID", INT),
+            ("E_DNo", INT),
+        ],
+        primary_key=["EID"],
+        foreign_keys=[
+            ForeignKey("emp_home_addr", ("EHome_AID",), "Address"),
+            ForeignKey("emp_office_addr", ("EOffice_AID",), "Address"),
+            ForeignKey("emp_dept", ("E_DNo",), "Department"),
+        ],
+    )
+    department = Relation(
+        "Department",
+        [("DNo", INT), ("DName", VARCHAR)],
+        primary_key=["DNo"],
+    )
+    dept_location = Relation(
+        "Department_Location",
+        [("DL_DNo", INT), ("DLocation", VARCHAR)],
+        primary_key=["DL_DNo", "DLocation"],
+        foreign_keys=[ForeignKey("dl_dept", ("DL_DNo",), "Department")],
+    )
+    project = Relation(
+        "Project",
+        [("PNo", INT), ("PName", VARCHAR), ("P_DNo", INT)],
+        primary_key=["PNo"],
+        foreign_keys=[ForeignKey("proj_dept", ("P_DNo",), "Department")],
+    )
+    works_on = Relation(
+        "Works_On",
+        [("WO_EID", INT), ("WO_PNo", INT), ("Hours", INT)],
+        primary_key=["WO_EID", "WO_PNo"],
+        foreign_keys=[
+            ForeignKey("wo_emp", ("WO_EID",), "Employee"),
+            ForeignKey("wo_proj", ("WO_PNo",), "Project"),
+        ],
+    )
+    dependent = Relation(
+        "Dependent",
+        [("DP_EID", INT), ("DPName", VARCHAR), ("DPHome_AID", INT)],
+        primary_key=["DP_EID", "DPName"],
+        foreign_keys=[
+            ForeignKey("dp_emp", ("DP_EID",), "Employee"),
+            ForeignKey("dp_home_addr", ("DPHome_AID",), "Address"),
+        ],
+    )
+    schema = Schema(
+        [address, employee, department, dept_location, project, works_on, dependent]
+    )
+    # Base-table covered indexes on FK attributes (the paper assumes the
+    # input schema carries the necessary base-table indexes, Sec. VI-C).
+    schema.add_index(
+        "Employee",
+        Index("idx_emp_home", ("EHome_AID",), ("EID", "EName", "EOffice_AID", "E_DNo")),
+    )
+    schema.add_index(
+        "Employee",
+        Index("idx_emp_dept", ("E_DNo",), ("EID", "EName", "EHome_AID", "EOffice_AID")),
+    )
+    schema.add_index(
+        "Works_On", Index("idx_wo_hours", ("Hours",), ("WO_EID", "WO_PNo"))
+    )
+    return schema
+
+
+def company_workload() -> Workload:
+    """The three-statement synthetic workload of Section V-B2."""
+    w = Workload()
+    w.add(
+        "SELECT * FROM Employee as e, Address as a "
+        "WHERE a.AID = e.EHome_AID and e.EID = ?",
+        statement_id="W1",
+    )
+    w.add(
+        "SELECT * FROM Department as d, Employee as e, Works_On as wo "
+        "WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?",
+        statement_id="W2",
+    )
+    w.add(
+        "SELECT * FROM Employee as e, Works_On as wo "
+        "WHERE e.EID = wo.WO_EID and wo.Hours = ?",
+        statement_id="W3",
+    )
+    return w

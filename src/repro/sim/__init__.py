@@ -1,0 +1,25 @@
+"""Virtual-time simulation substrate.
+
+Everything latency-related in the simulated cluster flows through a
+:class:`~repro.sim.clock.SimClock` owned by a
+:class:`~repro.sim.clock.Simulation`. Engines *charge* virtual
+milliseconds for the work they do (RPCs, rows scanned, bytes moved);
+experiments measure elapsed virtual time, which plays the role of the
+paper's measured response time.
+"""
+
+from repro.sim.clock import SimClock, Simulation, Stopwatch
+from repro.sim.latency import LatencyCharger
+from repro.sim.metrics import Counter, MetricsRegistry, Timer
+from repro.sim.rng import derive_rng
+
+__all__ = [
+    "SimClock",
+    "Simulation",
+    "Stopwatch",
+    "LatencyCharger",
+    "Counter",
+    "MetricsRegistry",
+    "Timer",
+    "derive_rng",
+]

@@ -1,0 +1,117 @@
+"""Virtual clock and simulation context.
+
+The simulator is single-threaded: a single :class:`SimClock` advances as
+engines charge costs. Response times are measured with
+:class:`Stopwatch`, which records the clock delta around an operation —
+the virtual analogue of the paper's client-side ``tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from contextlib import contextmanager
+
+from repro.config import CostModel, DEFAULT_COST_MODEL
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import derive_rng
+
+
+class SimClock:
+    """A monotonically advancing virtual clock, in milliseconds."""
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move the clock forward by ``delta_ms`` (must be >= 0)."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards: {delta_ms}")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self._now_ms:.3f}ms)"
+
+
+@dataclass
+class Stopwatch:
+    """Measures elapsed virtual time between :meth:`start` and :meth:`stop`."""
+
+    clock: SimClock
+    started_at: float = field(default=0.0)
+    elapsed_ms: float = field(default=0.0)
+
+    def start(self) -> "Stopwatch":
+        self.started_at = self.clock.now_ms
+        return self
+
+    def stop(self) -> float:
+        self.elapsed_ms = self.clock.now_ms - self.started_at
+        return self.elapsed_ms
+
+
+class Simulation:
+    """Shared context for one simulated cluster.
+
+    Holds the clock, the cost model, a metrics registry and a
+    deterministic RNG stream. All engine components receive the same
+    ``Simulation`` so their charges accumulate on one timeline.
+
+    ``jitter_fraction`` > 0 makes every charge multiplicatively noisy
+    (seeded, reproducible), which is how repeated experiment runs get a
+    realistic non-zero standard error.
+    """
+
+    def __init__(
+        self,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        seed: int = 0,
+        jitter_fraction: float = 0.0,
+    ) -> None:
+        self.cost = cost
+        self.clock = SimClock()
+        self.metrics = MetricsRegistry()
+        self.seed = seed
+        self.jitter_fraction = float(jitter_fraction)
+        self._rng = derive_rng(seed, "simulation-jitter")
+
+    # -- charging ---------------------------------------------------------------
+    def charge(self, delta_ms: float, what: str | None = None) -> None:
+        """Advance virtual time by ``delta_ms`` (plus optional jitter)."""
+        if delta_ms < 0:
+            raise ValueError(f"negative charge: {delta_ms}")
+        if self.jitter_fraction > 0.0 and delta_ms > 0.0:
+            factor = 1.0 + self.jitter_fraction * float(self._rng.standard_normal())
+            delta_ms *= max(factor, 0.1)
+        self.clock.advance(delta_ms)
+        if what is not None:
+            self.metrics.timer(what).record(delta_ms)
+
+    def stopwatch(self) -> Stopwatch:
+        return Stopwatch(self.clock).start()
+
+    @contextmanager
+    def measure(self, name: str | None = None) -> Iterator[Stopwatch]:
+        """Context manager yielding a running stopwatch; stops on exit."""
+        sw = self.stopwatch()
+        try:
+            yield sw
+        finally:
+            sw.stop()
+            if name is not None:
+                self.metrics.timer(name).record(sw.elapsed_ms)
+
+    def reset_clock(self) -> None:
+        """Zero the clock (data and metrics are preserved)."""
+        self.clock = SimClock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulation(now={self.clock.now_ms:.3f}ms, seed={self.seed})"

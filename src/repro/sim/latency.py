@@ -1,0 +1,70 @@
+"""Latency-charging helpers shared by the storage and SQL engines.
+
+A :class:`LatencyCharger` wraps a :class:`~repro.sim.clock.Simulation`
+and exposes semantically named charge methods (one per physical effect),
+so call sites read like the mechanism they model::
+
+    charger.rpc()                    # one round trip
+    charger.rows_read(n)             # server-side row materialization
+    charger.transfer(num_bytes)      # result bytes over the wire
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import Simulation
+
+
+class LatencyCharger:
+    """Semantic layer over :meth:`Simulation.charge`."""
+
+    def __init__(self, sim: Simulation, component: str) -> None:
+        self.sim = sim
+        self.component = component
+        self.cost = sim.cost
+
+    # -- generic ------------------------------------------------------------------
+    def rpc(self, count: int = 1) -> None:
+        self.sim.metrics.counter(f"{self.component}.rpc").inc(count)
+        self.sim.charge(self.cost.rpc_base_ms * count, f"{self.component}.rpc")
+
+    def transfer(self, num_bytes: int) -> None:
+        if num_bytes <= 0:
+            return
+        kib = num_bytes / 1024.0
+        self.sim.metrics.counter(f"{self.component}.bytes").inc(num_bytes)
+        self.sim.charge(self.cost.network_ms_per_kb * kib, f"{self.component}.transfer")
+
+    # -- storage-side work -----------------------------------------------------------
+    def seek(self, count: int = 1) -> None:
+        self.sim.metrics.counter(f"{self.component}.seek").inc(count)
+        self.sim.charge(self.cost.seek_ms * count)
+
+    def rows_read(self, n: int) -> None:
+        if n <= 0:
+            return
+        self.sim.metrics.counter(f"{self.component}.rows_read").inc(n)
+        self.sim.charge(self.cost.read_row_ms * n)
+
+    def rows_written(self, n: int) -> None:
+        if n <= 0:
+            return
+        self.sim.metrics.counter(f"{self.component}.rows_written").inc(n)
+        self.sim.charge(self.cost.write_row_ms * n)
+
+    def wal_append(self, count: int = 1) -> None:
+        self.sim.metrics.counter(f"{self.component}.wal_append").inc(count)
+        self.sim.charge(self.cost.wal_append_ms * count)
+
+    def check_and_put(self, count: int = 1) -> None:
+        self.sim.metrics.counter(f"{self.component}.check_and_put").inc(count)
+        self.sim.charge((self.cost.rpc_base_ms + self.cost.check_and_put_ms) * count)
+
+    def version_checks(self, n_cells: int) -> None:
+        if n_cells <= 0:
+            return
+        self.sim.charge(self.cost.mvcc_version_check_ms * n_cells)
+
+    def mark_rows(self, n: int) -> None:
+        if n <= 0:
+            return
+        self.sim.charge((self.cost.mark_row_ms) * n)

@@ -1,0 +1,87 @@
+"""Lightweight counters and timers for instrumenting the simulated cluster.
+
+Used by tests to assert *mechanism* (e.g. "the nested-loop join issued
+one Get RPC per outer row") rather than only end-to-end latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    name: str
+    value: int = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class Timer:
+    """Accumulates duration samples; exposes count/total/mean/stderr."""
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, duration_ms: float) -> None:
+        self.samples.append(duration_ms)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_ms(self) -> float:
+        return float(sum(self.samples))
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.samples else 0.0
+
+    @property
+    def stderr_ms(self) -> float:
+        n = self.count
+        if n < 2:
+            return 0.0
+        mean = self.mean_ms
+        var = sum((s - mean) ** 2 for s in self.samples) / (n - 1)
+        return math.sqrt(var / n)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+class MetricsRegistry:
+    """Name-addressable store of counters and timers."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def timer(self, name: str) -> Timer:
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def counters(self) -> dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def timers(self) -> dict[str, Timer]:
+        return dict(self._timers)
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for t in self._timers.values():
+            t.reset()

@@ -1,0 +1,59 @@
+"""A small SQL front end.
+
+Hand-rolled lexer + recursive-descent parser for the SQL subset both the
+paper's workloads and the engines need:
+
+* ``SELECT`` with projections/aggregates, comma-separated FROM items with
+  aliases, derived tables (``FROM (SELECT ...) AS t``), conjunctive
+  ``WHERE`` with ``= <> < <= > >=`` over columns, literals and ``?``
+  parameters, ``GROUP BY``, ``ORDER BY ... [ASC|DESC]``, ``LIMIT``.
+* ``INSERT INTO t (cols) VALUES (...)``.
+* ``UPDATE t SET c = expr, ... WHERE ...``.
+* ``DELETE FROM t WHERE ...``.
+
+The :mod:`repro.sql.analyzer` resolves aliases against a
+:class:`~repro.relational.schema.Schema` and extracts the equi-join
+graph used by the view-selection machinery.
+"""
+
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Delete,
+    DerivedTable,
+    FuncCall,
+    Insert,
+    Literal,
+    OrderItem,
+    Param,
+    Select,
+    Star,
+    Statement,
+    TableRef,
+    Update,
+)
+from repro.sql.analyzer import AnalyzedSelect, JoinCondition, analyze_select
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "AnalyzedSelect",
+    "BinOp",
+    "ColumnRef",
+    "Delete",
+    "DerivedTable",
+    "FuncCall",
+    "Insert",
+    "JoinCondition",
+    "Literal",
+    "OrderItem",
+    "Param",
+    "Select",
+    "Star",
+    "Statement",
+    "TableRef",
+    "Update",
+    "analyze_select",
+    "parse_statement",
+    "to_sql",
+]

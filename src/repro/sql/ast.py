@@ -1,0 +1,248 @@
+"""SQL abstract syntax tree nodes.
+
+The tree is deliberately small: expressions are columns, literals,
+parameters, binary comparisons and aggregate function calls; WHERE
+clauses are stored as a list of AND-ed conjuncts (the workloads in the
+paper are all conjunctive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Union
+
+
+# ---------------------------------------------------------------- expressions
+@dataclass(frozen=True)
+class ColumnRef:
+    """``qualifier.name`` or bare ``name`` (qualifier None)."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder; ``index`` is its 0-based position in the text."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``alias.*`` in a projection list."""
+
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary comparison ``left op right``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    @property
+    def is_equi(self) -> bool:
+        return self.op == "="
+
+    def column_pair(self) -> tuple[ColumnRef, ColumnRef] | None:
+        """Both sides column refs (a potential join condition), else None."""
+        if isinstance(self.left, ColumnRef) and isinstance(self.right, ColumnRef):
+            return (self.left, self.right)
+        return None
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Aggregate call: ``SUM(x)``, ``COUNT(*)``, ...; ``star`` for COUNT(*)."""
+
+    name: str
+    args: tuple["Expr", ...] = ()
+    star: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+Expr = Union[ColumnRef, Literal, Param, BinOp, FuncCall, Star]
+
+
+# ---------------------------------------------------------------- from items
+@dataclass(frozen=True)
+class TableRef:
+    """A base relation (or view) in FROM, with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        return f"{self.name} as {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    """``(SELECT ...) AS alias`` — used by the TPC-W best-seller queries."""
+
+    select: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+    def __str__(self) -> str:
+        return f"({self.select}) as {self.alias}"
+
+
+FromItem = Union[TableRef, DerivedTable]
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.expr} DESC" if self.descending else str(self.expr)
+
+
+# ---------------------------------------------------------------- statements
+@dataclass(frozen=True)
+class Select:
+    projections: tuple[Expr, ...]
+    from_items: tuple[FromItem, ...]
+    where: tuple[BinOp, ...] = ()
+    group_by: tuple[ColumnRef, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+    def iter_table_refs(self) -> Iterator[TableRef]:
+        """All base TableRefs, including those inside derived tables."""
+        for item in self.from_items:
+            if isinstance(item, TableRef):
+                yield item
+            else:
+                yield from item.select.iter_table_refs()
+
+    def referenced_relations(self) -> tuple[str, ...]:
+        """Distinct relation names referenced anywhere in the statement."""
+        return tuple(dict.fromkeys(t.name for t in self.iter_table_refs()))
+
+    def uses_relation_twice(self) -> bool:
+        """True for self-joins (Synergy does not use views for these)."""
+        names = [t.name for t in self.iter_table_refs()]
+        return len(names) != len(set(names))
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    values: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: tuple[BinOp, ...] = ()
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: tuple[BinOp, ...] = ()
+
+    def __str__(self) -> str:
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+Statement = Union[Select, Insert, Update, Delete]
+
+
+def count_params(stmt: Statement) -> int:
+    """Number of ``?`` placeholders in the statement."""
+
+    def walk_expr(e: Expr) -> Iterator[Param]:
+        if isinstance(e, Param):
+            yield e
+        elif isinstance(e, BinOp):
+            yield from walk_expr(e.left)
+            yield from walk_expr(e.right)
+        elif isinstance(e, FuncCall):
+            for a in e.args:
+                yield from walk_expr(a)
+
+    def walk(s: Statement) -> Iterator[Param]:
+        if isinstance(s, Select):
+            for p in s.projections:
+                yield from walk_expr(p)
+            for item in s.from_items:
+                if isinstance(item, DerivedTable):
+                    yield from walk(item.select)
+            for c in s.where:
+                yield from walk_expr(c)
+        elif isinstance(s, Insert):
+            for v in s.values:
+                yield from walk_expr(v)
+        elif isinstance(s, Update):
+            for _, v in s.assignments:
+                yield from walk_expr(v)
+            for c in s.where:
+                yield from walk_expr(c)
+        elif isinstance(s, Delete):
+            for c in s.where:
+                yield from walk_expr(c)
+
+    return sum(1 for _ in walk(stmt))

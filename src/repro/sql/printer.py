@@ -1,0 +1,73 @@
+"""Render AST nodes back to SQL text (used by query rewriting and repr)."""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    BinOp,
+    ColumnRef,
+    Delete,
+    DerivedTable,
+    Expr,
+    FromItem,
+    FuncCall,
+    Insert,
+    Literal,
+    OrderItem,
+    Param,
+    Select,
+    Star,
+    Statement,
+    TableRef,
+    Update,
+)
+
+
+def expr_sql(e: Expr) -> str:
+    if isinstance(e, (ColumnRef, Literal, Param, Star, FuncCall, BinOp)):
+        return str(e)
+    raise TypeError(f"not an expression: {e!r}")  # pragma: no cover
+
+
+def _from_item_sql(item: FromItem) -> str:
+    if isinstance(item, TableRef):
+        return str(item)
+    if isinstance(item, DerivedTable):
+        return f"({to_sql(item.select)}) as {item.alias}"
+    raise TypeError(f"not a FROM item: {item!r}")  # pragma: no cover
+
+
+def to_sql(stmt: Statement) -> str:
+    """Serialize a statement AST to SQL text."""
+    if isinstance(stmt, Select):
+        parts = ["SELECT"]
+        if stmt.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(expr_sql(p) for p in stmt.projections))
+        parts.append("FROM")
+        parts.append(", ".join(_from_item_sql(f) for f in stmt.from_items))
+        if stmt.where:
+            parts.append("WHERE")
+            parts.append(" and ".join(str(c) for c in stmt.where))
+        if stmt.group_by:
+            parts.append("GROUP BY " + ", ".join(str(c) for c in stmt.group_by))
+        if stmt.order_by:
+            parts.append("ORDER BY " + ", ".join(str(o) for o in stmt.order_by))
+        if stmt.limit is not None:
+            parts.append(f"LIMIT {stmt.limit}")
+        return " ".join(parts)
+    if isinstance(stmt, Insert):
+        cols = f" ({', '.join(stmt.columns)})" if stmt.columns else ""
+        vals = ", ".join(expr_sql(v) for v in stmt.values)
+        return f"INSERT INTO {stmt.table}{cols} VALUES ({vals})"
+    if isinstance(stmt, Update):
+        sets = ", ".join(f"{c} = {expr_sql(v)}" for c, v in stmt.assignments)
+        where = (
+            " WHERE " + " and ".join(str(c) for c in stmt.where) if stmt.where else ""
+        )
+        return f"UPDATE {stmt.table} SET {sets}{where}"
+    if isinstance(stmt, Delete):
+        where = (
+            " WHERE " + " and ".join(str(c) for c in stmt.where) if stmt.where else ""
+        )
+        return f"DELETE FROM {stmt.table}{where}"
+    raise TypeError(f"not a statement: {stmt!r}")  # pragma: no cover

@@ -1,0 +1,265 @@
+"""View maintenance (paper Sec. VII).
+
+Applicability tests and tuple construction per write type:
+
+* **Insert** applies to a view iff the inserted relation is the *last*
+  relation of the view's path; building the view tuple reads the k-1
+  ancestor rows by following the (PK, FK) chain upward.
+* **Delete** applies iff the relation is last (no cascading deletes);
+  the view row is addressed directly by the base key, while view-index
+  rows require reading the view row first to build the index key.
+* **Update** applies iff the relation appears anywhere in the view; rows
+  are located by the view key (relation last) or through a maintenance
+  view-index on the relation's PK (relation mid-path).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+from repro.hbase.bytes_util import prefix_stop
+from repro.hbase.client import HBaseClient
+from repro.hbase.filters import AndFilter, ColumnValueFilter
+from repro.hbase.ops import Delete as HDelete, Get, Put, Scan
+from repro.relational.datatypes import encode_value
+from repro.phoenix.catalog import CF, Catalog, CatalogEntry
+from repro.phoenix.plans import DIRTY_MARK, DIRTY_QUALIFIER
+from repro.relational.schema import Schema
+from repro.synergy.views import ViewDef
+
+
+class ViewMaintainer:
+    """Applies base-table writes to materialized views and view-indexes."""
+
+    def __init__(
+        self,
+        client: HBaseClient,
+        catalog: Catalog,
+        views: list[ViewDef],
+    ) -> None:
+        self.client = client
+        self.catalog = catalog
+        self.schema = catalog.schema
+        self.views = list(views)
+
+    # -- applicability tests ---------------------------------------------------------
+    def views_for_insert(self, relation: str) -> list[ViewDef]:
+        return [v for v in self.views if v.last == relation]
+
+    def views_for_delete(self, relation: str) -> list[ViewDef]:
+        return [v for v in self.views if v.last == relation]
+
+    def views_for_update(self, relation: str) -> list[ViewDef]:
+        return [v for v in self.views if v.contains(relation)]
+
+    # -- ancestor reads ---------------------------------------------------------------
+    def read_ancestor_chain(
+        self, view: ViewDef, row: dict[str, Any]
+    ) -> dict[str, dict[str, Any]] | None:
+        """Read the k-1 base rows above ``view.last`` along the path.
+
+        Returns {relation: row}, or None if any ancestor is missing
+        (the FK dangles — no view tuple can be constructed)."""
+        out: dict[str, dict[str, Any]] = {}
+        current = row
+        # walk edges last-to-first: each child's FK provides the parent key
+        for edge in reversed(view.edges):
+            parent_entry = self.catalog.table_for_relation(edge.parent)
+            key_values = [current.get(a) for a in edge.fk_attrs]
+            if any(v is None for v in key_values):
+                return None
+            result = self.client.table(parent_entry.name).get(
+                Get(parent_entry.encode_key_values(key_values))
+            )
+            if result is None:
+                return None
+            parent_row = parent_entry.result_to_row(result)
+            out[edge.parent] = parent_row
+            current = parent_row
+        return out
+
+    def build_view_row(
+        self,
+        view: ViewDef,
+        row: dict[str, Any],
+        ancestors: dict[str, dict[str, Any]],
+    ) -> dict[str, Any]:
+        merged: dict[str, Any] = {}
+        for rel_name in view.relations[:-1]:
+            ancestor = ancestors.get(rel_name)
+            if ancestor is None:
+                raise ReproError(
+                    f"missing ancestor row for {rel_name} in view "
+                    f"{view.display_name}"
+                )
+            merged.update(
+                {a: ancestor.get(a) for a in
+                 self.schema.relation(rel_name).attribute_names}
+            )
+        merged.update(
+            {a: row.get(a) for a in self.schema.relation(view.last).attribute_names}
+        )
+        return merged
+
+    # -- entry lookup ------------------------------------------------------------------
+    def view_entry(self, view: ViewDef) -> CatalogEntry:
+        return self.catalog.view(view.name)
+
+    def view_index_entries(self, view: ViewDef) -> list[CatalogEntry]:
+        return self.catalog.indexes_for_view(view.name)
+
+    def maintenance_index_for(
+        self, view: ViewDef, relation: str
+    ) -> CatalogEntry | None:
+        """A view-index whose key starts with PK(relation), if present."""
+        pk = tuple(self.schema.relation(relation).primary_key)
+        entry = self.view_entry(view)
+        if entry.key_attrs[: len(pk)] == pk:
+            return entry  # the view itself is keyed by this PK
+        for index in self.view_index_entries(view):
+            if index.key_attrs[: len(pk)] == pk:
+                return index
+        return None
+
+    # -- insert -------------------------------------------------------------------------
+    def apply_insert(self, relation: str, row: dict[str, Any]) -> int:
+        """Insert the corresponding tuple into every applicable view
+        (and its view-indexes); returns number of physical rows written."""
+        written = 0
+        for view in self.views_for_insert(relation):
+            ancestors = self.read_ancestor_chain(view, row)
+            if ancestors is None:
+                continue  # dangling FK: no join result to materialize
+            view_row = self.build_view_row(view, row, ancestors)
+            entry = self.view_entry(view)
+            self.client.table(entry.name).put(entry.row_to_put(view_row))
+            written += 1
+            for index in self.view_index_entries(view):
+                self.client.table(index.name).put(index.row_to_put(view_row))
+                written += 1
+        return written
+
+    # -- delete -------------------------------------------------------------------------
+    def apply_delete(self, relation: str, key: dict[str, Any]) -> int:
+        """Delete the view tuple for a base delete; view-index keys are
+        constructed by reading the view row first (Sec. VII-B)."""
+        removed = 0
+        for view in self.views_for_delete(relation):
+            entry = self.view_entry(view)
+            view_key = entry.encode_key(key)
+            indexes = self.view_index_entries(view)
+            old_row: dict[str, Any] | None = None
+            if indexes:
+                result = self.client.table(entry.name).get(Get(view_key))
+                if result is not None:
+                    old_row = entry.result_to_row(result)
+            self.client.table(entry.name).delete(HDelete(view_key))
+            removed += 1
+            if old_row is not None:
+                for index in indexes:
+                    self.client.table(index.name).delete(
+                        HDelete(index.encode_key(old_row))
+                    )
+                    removed += 1
+        return removed
+
+    # -- update -------------------------------------------------------------------------
+    def locate_view_rows(
+        self, view: ViewDef, relation: str, key: dict[str, Any]
+    ) -> list[dict[str, Any]]:
+        """All view rows whose ``relation`` component has the given key."""
+        entry = self.view_entry(view)
+        access = self.maintenance_index_for(view, relation)
+        pk = tuple(self.schema.relation(relation).primary_key)
+        if access is None:
+            # No maintenance index: scan the entire view (the expensive
+            # fallback the paper's Sec. VII-C indexes exist to avoid).
+            self.client.cluster.sim.metrics.counter(
+                "view.maintenance_full_scans"
+            ).inc()
+            filters = [
+                ColumnValueFilter(
+                    CF, a.encode(), "=", encode_value(entry.dtypes[a], key[a])
+                )
+                for a in pk
+                if a not in entry.key_attrs
+            ]
+            scan = Scan()
+            if len(filters) == 1:
+                scan.filter = filters[0]
+            elif filters:
+                scan.filter = AndFilter(tuple(filters))
+            rows = [
+                entry.result_to_row(r)
+                for r in self.client.table(entry.name).scan(scan)
+            ]
+            return [
+                r for r in rows if all(r.get(a) == key[a] for a in pk)
+            ]
+        prefix_values = [key[a] for a in pk]
+        if access.key_attrs == tuple(pk) or (
+            access is entry and len(access.key_attrs) == len(pk)
+        ):
+            result = self.client.table(access.name).get(
+                Get(access.encode_key_values(prefix_values))
+            )
+            rows = [] if result is None else [access.result_to_row(result)]
+        else:
+            prefix = access.encode_key_prefix(prefix_values)
+            rows = [
+                access.result_to_row(r)
+                for r in self.client.table(access.name).scan(
+                    Scan(start_row=prefix, stop_row=prefix_stop(prefix))
+                )
+            ]
+        if access is not entry and set(access.attrs) != set(entry.attrs):
+            # key-only maintenance index: fetch the full rows from the view
+            full_rows = []
+            for row in rows:
+                result = self.client.table(entry.name).get(
+                    Get(entry.encode_key(row))
+                )
+                if result is not None:
+                    full_rows.append(entry.result_to_row(result))
+            return full_rows
+        return rows
+
+    def mark_rows(
+        self, entry: CatalogEntry, rows: list[dict[str, Any]], dirty: bool
+    ) -> None:
+        """Set/clear the dirty marker on view rows (update steps 3 and 5)."""
+        puts = []
+        for row in rows:
+            put = Put(entry.encode_key(row))
+            put.add(CF, DIRTY_QUALIFIER, DIRTY_MARK if dirty else b"\x00")
+            puts.append(put)
+        if puts:
+            self.client.table(entry.name).put_batch(puts)
+            self.client.cluster.sim.charge(
+                self.client.cluster.sim.cost.mark_row_ms * len(puts), "view.mark"
+            )
+
+    def write_view_rows(
+        self,
+        view: ViewDef,
+        old_rows: list[dict[str, Any]],
+        changes: dict[str, Any],
+    ) -> list[dict[str, Any]]:
+        """Apply attribute changes to located view rows + fix indexes."""
+        entry = self.view_entry(view)
+        new_rows = []
+        for old in old_rows:
+            new = dict(old)
+            new.update(changes)
+            self.client.table(entry.name).put(entry.row_to_put(new))
+            for index in self.view_index_entries(view):
+                if not any(a in index.attrs for a in changes):
+                    continue
+                old_key = index.encode_key(old)
+                new_key = index.encode_key(new)
+                if old_key != new_key:
+                    self.client.table(index.name).delete(HDelete(old_key))
+                self.client.table(index.name).put(index.row_to_put(new))
+            new_rows.append(new)
+        return new_rows

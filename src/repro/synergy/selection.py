@@ -1,0 +1,164 @@
+"""Workload-driven views selection (paper Sec. VI-A).
+
+Per equi-join query: mark every rooted-tree edge whose (PK, FK) pair is
+equated by the query (and the relations on those edges); then repeatedly
+choose a path that
+
+1. consists solely of marked nodes and edges, and
+2. starts at a marked node with no incoming marked edge and ends at a
+   leaf or at a node with no outgoing marked edge,
+
+select it as a view, un-mark its relations and their outgoing edges, and
+continue until no path can be chosen. Ties between maximal paths break
+toward the one materializing more (workload-weighted) joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.schema import Schema
+from repro.relational.workload import Workload
+from repro.sql.analyzer import analyze_select
+from repro.sql.ast import Select
+from repro.synergy.graph import GraphEdge
+from repro.synergy.heuristics import Heuristic, joins_match_edge
+from repro.synergy.trees import RootedTree
+from repro.synergy.views import ViewDef
+
+
+@dataclass
+class SelectionResult:
+    """Selected views per statement id, plus the final de-duplicated set."""
+
+    per_query: dict[str, list[ViewDef]] = field(default_factory=dict)
+    final_views: list[ViewDef] = field(default_factory=list)
+
+    def add(self, statement_id: str, views: list[ViewDef]) -> None:
+        self.per_query[statement_id] = views
+        for v in views:
+            if all(v.relations != w.relations for w in self.final_views):
+                self.final_views.append(v)
+
+
+def select_views_for_query(
+    select: Select,
+    schema: Schema,
+    trees: dict[str, RootedTree],
+    heuristic: Heuristic,
+) -> list[ViewDef]:
+    """Run the marking algorithm for one query across all rooted trees."""
+    if select.uses_relation_twice():
+        return []  # Synergy answers self-joins from base tables (Sec. VIII-C)
+    analyzed = analyze_select(select, schema)
+    joins = analyzed.equi_joins()
+    if not joins:
+        return []
+
+    selected: list[ViewDef] = []
+    for root in trees:
+        tree = trees[root]
+        marked_edges = {
+            e for e in tree.edges if joins_match_edge(e, joins)
+        }
+        if not marked_edges:
+            continue
+        marked_rels = set()
+        for e in marked_edges:
+            marked_rels.add(e.parent)
+            marked_rels.add(e.child)
+
+        while True:
+            path = _choose_path(tree, marked_rels, marked_edges, heuristic)
+            if path is None:
+                break
+            rels = [path[0].parent, *[e.child for e in path]]
+            selected.append(
+                ViewDef(relations=tuple(rels), edges=tuple(path), root=root)
+            )
+            # un-mark participating relations and their outgoing edges
+            for r in rels:
+                marked_rels.discard(r)
+                for e in list(marked_edges):
+                    if e.parent == r:
+                        marked_edges.discard(e)
+    return selected
+
+
+def _choose_path(
+    tree: RootedTree,
+    marked_rels: set[str],
+    marked_edges: set[GraphEdge],
+    heuristic: Heuristic,
+) -> tuple[GraphEdge, ...] | None:
+    """One iteration of the path-selection loop; None when exhausted."""
+    starts = []
+    for rel in marked_rels:
+        incoming = tree.parent_edges.get(rel)
+        if incoming is not None and incoming in marked_edges:
+            continue
+        # must have at least one outgoing marked edge to form a path
+        if any(e.parent == rel for e in marked_edges):
+            starts.append(rel)
+    candidates: list[tuple[float, int, str, tuple[GraphEdge, ...]]] = []
+    for start in sorted(starts):
+        for path in _maximal_marked_paths(tree, start, marked_rels, marked_edges):
+            candidates.append(
+                (
+                    -heuristic.path_weight(path),
+                    -len(path),
+                    "/".join(e.child for e in path),
+                    path,
+                )
+            )
+    if not candidates:
+        return None
+    candidates.sort()
+    return candidates[0][3]
+
+
+def _maximal_marked_paths(
+    tree: RootedTree,
+    start: str,
+    marked_rels: set[str],
+    marked_edges: set[GraphEdge],
+) -> list[tuple[GraphEdge, ...]]:
+    """All downward paths from ``start`` over marked nodes/edges that end
+    at a node with no outgoing marked edge (rule 2)."""
+    out: list[tuple[GraphEdge, ...]] = []
+
+    def walk(node: str, acc: list[GraphEdge]) -> None:
+        next_edges = [
+            e
+            for e in marked_edges
+            if e.parent == node and e.child in marked_rels
+        ]
+        if not next_edges:
+            if acc:
+                out.append(tuple(acc))
+            return
+        for e in sorted(next_edges, key=lambda e: e.child):
+            acc.append(e)
+            walk(e.child, acc)
+            acc.pop()
+
+    walk(start, [])
+    return out
+
+
+def select_views(
+    workload: Workload,
+    schema: Schema,
+    trees: dict[str, RootedTree],
+    heuristic: Heuristic,
+) -> SelectionResult:
+    """Iterate the read workload; the final view set is the union of the
+    per-query selections (Sec. VI-A, 'Final View Set')."""
+    result = SelectionResult()
+    for stmt in workload:
+        parsed = stmt.parsed
+        if not isinstance(parsed, Select):
+            continue
+        views = select_views_for_query(parsed, schema, trees, heuristic)
+        result.add(stmt.statement_id, views)
+    return result

@@ -1,0 +1,191 @@
+"""The Synergy Transaction layer (paper Sec. VIII, Fig. 7).
+
+A distributed, fault-tolerant layer of one master and N slaves. Clients
+send write requests to a slave's transaction manager, which assigns a
+transaction id, appends the statement to its WAL (stored 'in HDFS'),
+executes the write procedure through the Phoenix API, and responds. The
+master detects slave failures and replays the failed slave's WAL on a
+stand-in. Reads bypass the layer entirely and go straight to HBase.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import TransactionError, UnsupportedStatementError
+from repro.phoenix.writes import eval_const, key_from_where
+from repro.phoenix.catalog import Catalog
+from repro.sim.clock import Simulation
+from repro.sql.ast import Delete, Insert, Select, Statement, Update
+from repro.sql.parser import parse_statement
+from repro.synergy.procedures import StepHook, WriteProcedures
+
+
+@dataclass
+class TxLogEntry:
+    """One WAL record of a transaction-manager slave."""
+
+    tx_id: int
+    sql: str
+    params: tuple[Any, ...]
+    status: str = "pending"  # -> "committed"
+
+
+@dataclass
+class WritePlan:
+    """Auto-generated execution plan for one write statement
+    (the 'plan generator' box of Fig. 7)."""
+
+    kind: str  # "insert" | "update" | "delete"
+    relation: str
+    row: dict[str, Any] | None = None
+    key: dict[str, Any] | None = None
+    changes: dict[str, Any] | None = None
+
+
+class PlanGenerator:
+    """Translates write ASTs into :class:`WritePlan` objects."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def generate(self, stmt: Statement, params: tuple[Any, ...]) -> WritePlan:
+        if isinstance(stmt, Insert):
+            entry = self.catalog.table_for_relation(stmt.table)
+            columns = stmt.columns or entry.attrs
+            if len(columns) != len(stmt.values):
+                raise UnsupportedStatementError(
+                    f"INSERT {stmt.table}: column/value arity mismatch"
+                )
+            row = {c: eval_const(v, params) for c, v in zip(columns, stmt.values)}
+            missing = [k for k in entry.key_attrs if k not in row]
+            if missing:
+                raise UnsupportedStatementError(
+                    f"INSERT {stmt.table}: missing key attributes {missing}"
+                )
+            return WritePlan(kind="insert", relation=stmt.table, row=row)
+        if isinstance(stmt, Update):
+            entry = self.catalog.table_for_relation(stmt.table)
+            key = key_from_where(entry, stmt.where, params)
+            changes = {c: eval_const(v, params) for c, v in stmt.assignments}
+            return WritePlan(
+                kind="update", relation=stmt.table, key=key, changes=changes
+            )
+        if isinstance(stmt, Delete):
+            entry = self.catalog.table_for_relation(stmt.table)
+            key = key_from_where(entry, stmt.where, params)
+            return WritePlan(kind="delete", relation=stmt.table, key=key)
+        raise UnsupportedStatementError(f"not a write statement: {stmt}")
+
+
+class TransactionManagerSlave:
+    """One slave node: WAL + write-procedure execution."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulation,
+        plan_generator: PlanGenerator,
+        procedures: WriteProcedures,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.plan_generator = plan_generator
+        self.procedures = procedures
+        self.wal: list[TxLogEntry] = []
+        self.alive = True
+
+    def execute_write(
+        self,
+        sql: str,
+        params: tuple[Any, ...],
+        on_step: StepHook | None = None,
+    ) -> bool:
+        if not self.alive:
+            raise TransactionError(f"transaction slave {self.name} is down")
+        stmt = parse_statement(sql)
+        if isinstance(stmt, Select):
+            raise UnsupportedStatementError("reads do not go through the tx layer")
+        entry = TxLogEntry(tx_id=next(self._ids), sql=sql, params=tuple(params))
+        self.wal.append(entry)
+        self.sim.charge(self.sim.cost.wal_append_ms, "txlayer.wal")
+        result = self._run(stmt, tuple(params), on_step)
+        entry.status = "committed"
+        return result
+
+    def _run(
+        self, stmt: Statement, params: tuple[Any, ...], on_step: StepHook | None
+    ) -> bool:
+        plan = self.plan_generator.generate(stmt, params)
+        if plan.kind == "insert":
+            assert plan.row is not None
+            self.procedures.insert(plan.relation, plan.row, on_step)
+            return True
+        if plan.kind == "update":
+            assert plan.key is not None and plan.changes is not None
+            return self.procedures.update(plan.relation, plan.key, plan.changes, on_step)
+        assert plan.key is not None
+        return self.procedures.delete(plan.relation, plan.key, on_step)
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def pending_entries(self) -> list[TxLogEntry]:
+        return [e for e in self.wal if e.status == "pending"]
+
+
+class SynergyTransactionLayer:
+    """Master + slaves; clients call :meth:`execute_write`."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        plan_generator: PlanGenerator,
+        procedures: WriteProcedures,
+        num_slaves: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.plan_generator = plan_generator
+        self.procedures = procedures
+        self.slaves = [
+            TransactionManagerSlave(f"tx-slave-{i + 1}", sim, plan_generator, procedures)
+            for i in range(num_slaves)
+        ]
+        self._route = 0
+
+    def execute_write(
+        self,
+        sql: str,
+        params: tuple[Any, ...] = (),
+        on_step: StepHook | None = None,
+    ) -> bool:
+        self.sim.charge(self.sim.cost.txlayer_dispatch_ms, "txlayer.dispatch")
+        # the transaction procedures execute through the Phoenix API
+        self.sim.charge(self.sim.cost.phoenix_statement_ms, "txlayer.phoenix")
+        live = [s for s in self.slaves if s.alive]
+        if not live:
+            raise TransactionError("no live transaction-layer slaves")
+        slave = live[self._route % len(live)]
+        self._route += 1
+        return slave.execute_write(sql, tuple(params), on_step)
+
+    # -- master duties -----------------------------------------------------------------
+    def recover_slave(self, dead: TransactionManagerSlave) -> int:
+        """Start a stand-in slave and replay the failed slave's pending
+        WAL entries (Sec. VIII: 'take over and replay the WAL')."""
+        if dead.alive:
+            raise TransactionError(f"slave {dead.name} is alive")
+        standby = TransactionManagerSlave(
+            f"{dead.name}-standby", self.sim, self.plan_generator, self.procedures
+        )
+        replayed = 0
+        for entry in dead.pending_entries():
+            standby.execute_write(entry.sql, entry.params)
+            entry.status = "recovered"
+            replayed += 1
+        self.slaves = [s for s in self.slaves if s is not dead] + [standby]
+        return replayed

@@ -1,0 +1,70 @@
+"""Common interface for the five evaluated systems."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.sim.clock import Simulation
+
+
+@dataclass(frozen=True)
+class SystemDescription:
+    """One row of the paper's Fig. 13 mechanism matrix."""
+
+    name: str
+    mv_selection: str
+    concurrency_control: str
+
+
+class EvaluatedSystem(abc.ABC):
+    """A populated system that can run workload statements and report
+    virtual response times."""
+
+    description: SystemDescription
+
+    @property
+    def name(self) -> str:
+        return self.description.name
+
+    @property
+    @abc.abstractmethod
+    def sim(self) -> Simulation: ...
+
+    @abc.abstractmethod
+    def statement(self, statement_id: str) -> str:
+        """Executable SQL for a workload statement id (possibly rewritten
+        over this system's views)."""
+
+    @abc.abstractmethod
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any: ...
+
+    @abc.abstractmethod
+    def load_row(self, relation: str, row: dict[str, Any]) -> None: ...
+
+    @abc.abstractmethod
+    def finish_load(self) -> None: ...
+
+    @abc.abstractmethod
+    def db_size_bytes(self) -> int: ...
+
+    def supports(self, statement_id: str) -> bool:
+        return True
+
+    def timed(self, sql: str, params: tuple[Any, ...] = ()) -> tuple[Any, float]:
+        sw = self.sim.stopwatch()
+        result = self.execute(sql, params)
+        return result, sw.stop()
+
+    def timed_id(
+        self, statement_id: str, params: tuple[Any, ...] = ()
+    ) -> tuple[Any, float]:
+        return self.timed(self.statement(statement_id), params)
+
+    def load(self, rows: Iterable[tuple[str, dict[str, Any]]]) -> int:
+        count = 0
+        for relation, row in rows:
+            self.load_row(relation, row)
+            count += 1
+        return count

@@ -1,0 +1,134 @@
+"""Shared machinery for the three MVCC-backed systems (Baseline, MVCC-A,
+MVCC-UA): HBase + Phoenix + Tephra transactions, optional views
+maintained inside each write transaction (no hierarchical locks, no
+dirty-row marking — consistency comes from MVCC snapshots instead)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
+from repro.errors import PlanError
+from repro.hbase.client import HBaseClient
+from repro.hbase.cluster import HBaseCluster
+from repro.mvcc.tephra import MvccTransaction, TephraServer
+from repro.phoenix.catalog import Catalog
+from repro.phoenix.ddl import create_baseline_schema
+from repro.phoenix.executor import PhoenixConnection
+from repro.phoenix.writes import WriteExecutor, eval_const, key_from_where
+from repro.relational.schema import Schema
+from repro.sim.clock import Simulation
+from repro.sql.ast import Delete, Insert, Select, Update
+from repro.sql.parser import parse_statement
+from repro.synergy.maintenance import ViewMaintainer
+from repro.synergy.views import ViewDef
+from repro.systems.base import EvaluatedSystem
+
+
+class MvccSystemBase(EvaluatedSystem):
+    """HBase + Phoenix with Phoenix-Tephra transaction support enabled."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        sim: Simulation | None = None,
+        cluster_config: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+        views: list[ViewDef] | None = None,
+    ) -> None:
+        self._sim = sim or Simulation(cost=cluster_config.cost)
+        self.schema = schema
+        self.cluster = HBaseCluster(self._sim, cluster_config)
+        self.client = HBaseClient(self.cluster)
+        self.catalog: Catalog = create_baseline_schema(self.client, schema)
+        self.tephra = TephraServer(self._sim)
+        self.views: list[ViewDef] = list(views or [])
+        self.conn = PhoenixConnection(
+            self.client, self.catalog,
+            dirty_check_views=False, mvcc_version_check=True,
+        )
+        self.writer = WriteExecutor(self.client, self.catalog)
+        self.maintainer = ViewMaintainer(self.client, self.catalog, self.views)
+        self._statements: dict[str, str] = {}
+
+    @property
+    def sim(self) -> Simulation:
+        return self._sim
+
+    # -- statements ---------------------------------------------------------------
+    def register_statement(self, statement_id: str, sql: str) -> None:
+        self._statements[statement_id] = sql
+
+    def statement(self, statement_id: str) -> str:
+        return self._statements[statement_id]
+
+    # -- loading ------------------------------------------------------------------
+    def load_row(self, relation: str, row: dict[str, Any]) -> None:
+        self.writer.insert_row(relation, row)
+        self.maintainer.apply_insert(relation, row)
+
+    def finish_load(self) -> None:
+        self.cluster.major_compact()
+        self.conn.analyze()
+        self._sim.reset_clock()
+
+    def db_size_bytes(self) -> int:
+        return self.cluster.total_size_bytes()
+
+    # -- execution ------------------------------------------------------------------
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        stmt = parse_statement(sql)
+        if isinstance(stmt, Select):
+            tx = self.tephra.begin(read_only=True)
+            try:
+                rows = self.conn.execute_query(stmt, params)
+            except BaseException:
+                self.tephra.abort(tx)
+                raise
+            self.tephra.commit(tx)
+            return rows
+        self._sim.charge(
+            self._sim.cost.phoenix_statement_ms, "phoenix.statement"
+        )
+        tx = self.tephra.begin(read_only=False)
+        try:
+            result = self._execute_write(stmt, tuple(params), tx)
+        except BaseException:
+            self.tephra.abort(tx)
+            raise
+        self.tephra.commit(tx)
+        return result
+
+    def _execute_write(
+        self, stmt: Any, params: tuple[Any, ...], tx: MvccTransaction
+    ) -> int:
+        if isinstance(stmt, Insert):
+            entry = self.catalog.table_for_relation(stmt.table)
+            columns = stmt.columns or entry.attrs
+            row = {c: eval_const(v, params) for c, v in zip(columns, stmt.values)}
+            tx.record_write(entry.name, entry.encode_key(row))
+            self.writer.insert_row(stmt.table, row)
+            self.maintainer.apply_insert(stmt.table, row)
+            return 1
+        if isinstance(stmt, Update):
+            entry = self.catalog.table_for_relation(stmt.table)
+            key = key_from_where(entry, stmt.where, params)
+            changes = {c: eval_const(v, params) for c, v in stmt.assignments}
+            tx.record_write(entry.name, entry.encode_key(key))
+            if self.writer.update_row(stmt.table, key, changes) is None:
+                return 0
+            for view in self.maintainer.views_for_update(stmt.table):
+                view_entry = self.maintainer.view_entry(view)
+                if not any(a in view_entry.attrs for a in changes):
+                    continue  # narrow advisor views may not store the attr
+                rows = self.maintainer.locate_view_rows(view, stmt.table, key)
+                self.maintainer.write_view_rows(view, rows, changes)
+            return 1
+        if isinstance(stmt, Delete):
+            entry = self.catalog.table_for_relation(stmt.table)
+            key = key_from_where(entry, stmt.where, params)
+            tx.record_write(entry.name, entry.encode_key(key))
+            if self.writer.delete_row(stmt.table, key) is None:
+                return 0
+            self.maintainer.apply_delete(stmt.table, key)
+            return 1
+        raise PlanError(f"not a write statement: {stmt}")

@@ -1,0 +1,100 @@
+"""MVCC-UA: tuning-advisor (schema-relationships-unaware) views + Tephra
+MVCC (paper Sec. IX-D2). On the TPC-W workload the advisor's storage
+budget admits a single narrow view — the best-seller chain used by Q10 —
+mirroring the paper's observation that the SQL Server tuning advisor
+produced one materialized view, used only by Q10."""
+
+from __future__ import annotations
+
+from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
+from repro.errors import ViewSelectionError
+from repro.phoenix.ddl import create_view_entry, create_view_index_entry
+from repro.relational.schema import Schema
+from repro.relational.workload import Workload
+from repro.sim.clock import Simulation
+from repro.sql.analyzer import analyze_select
+from repro.sql.ast import Select
+from repro.sql.printer import to_sql
+from repro.synergy.rewrite import rewrite_query
+from repro.systems.advisor import AdvisorCandidate, TuningAdvisor
+from repro.systems.base import SystemDescription
+from repro.systems.mvcc_base import MvccSystemBase
+
+
+class MvccUASystem(MvccSystemBase):
+    description = SystemDescription(
+        name="MVCC-UA",
+        mv_selection="Schema relationships un-aware",
+        concurrency_control="MVCC",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        workload: Workload,
+        row_estimates: dict[str, int],
+        sim: Simulation | None = None,
+        cluster_config: ClusterConfig = DEFAULT_CLUSTER_CONFIG,
+        storage_budget_fraction: float = 0.6,
+        max_views: int | None = 1,
+    ) -> None:
+        advisor = TuningAdvisor(
+            schema, workload, row_estimates, storage_budget_fraction, max_views
+        )
+        self.recommendations: list[AdvisorCandidate] = advisor.recommend()
+        super().__init__(
+            schema, sim, cluster_config,
+            views=[c.view for c in self.recommendations],
+        )
+        self.advisor = advisor
+
+        for cand in self.recommendations:
+            create_view_entry(
+                self.client,
+                self.catalog,
+                cand.view.name,
+                cand.view.relations,
+                attributes=cand.attributes,
+            )
+
+        # rewrite the source queries of each recommended view; everything
+        # else runs against base tables
+        view_by_query: dict[str, AdvisorCandidate] = {}
+        for cand in self.recommendations:
+            for qid in cand.source_queries:
+                view_by_query[qid] = cand
+
+        for stmt in workload:
+            parsed = stmt.parsed
+            sql = stmt.sql
+            cand = view_by_query.get(stmt.statement_id)
+            if cand is not None and isinstance(parsed, Select):
+                try:
+                    sql = to_sql(
+                        rewrite_query(parsed, schema, [cand.view]).select
+                    )
+                except ViewSelectionError:
+                    sql = stmt.sql  # view does not fit this query shape
+            self.register_statement(stmt.statement_id, sql)
+
+        # a read index per filter attribute of the rewritten queries
+        for cand in self.recommendations:
+            entry = self.catalog.view(cand.view.name)
+            for qid in cand.source_queries:
+                stmt = workload.by_id(qid)
+                parsed = stmt.parsed
+                if not isinstance(parsed, Select):
+                    continue
+                analyzed = analyze_select(parsed, schema)
+                for f in analyzed.filters:
+                    if (
+                        f.relation in cand.view.relations
+                        and f.attr in entry.attrs
+                        and f.attr != entry.key_attrs[0]
+                    ):
+                        name = f"{entry.name}.ix_{f.attr}"
+                        if not self.catalog.has_entry(name):
+                            create_view_index_entry(
+                                self.client, self.catalog, entry,
+                                (f.attr,), name=name,
+                            )

@@ -1,0 +1,84 @@
+"""VoltDB wrapped in the evaluated-system interface.
+
+Per the paper, three partitioning schemes are needed to support the
+maximum number of TPC-W joins; :meth:`statement`/:meth:`supports` pick
+the first scheme that admits a query, and writes run under the primary
+scheme. Queries unsupported under every scheme report
+``supports() == False`` and show as X in Fig. 12."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import UnsupportedStatementError
+from repro.relational.schema import Schema
+from repro.relational.workload import Workload
+from repro.sim.clock import Simulation
+from repro.sql.ast import Select
+from repro.sql.parser import parse_statement
+from repro.systems.base import EvaluatedSystem, SystemDescription
+from repro.voltdb.system import PartitionScheme, TPCW_SCHEMES, VoltDBSystem
+
+
+class VoltDBEvaluatedSystem(EvaluatedSystem):
+    description = SystemDescription(
+        name="VoltDB",
+        mv_selection="None",
+        concurrency_control="Single-threaded partition processing",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        workload: Workload,
+        sim: Simulation | None = None,
+        schemes: Sequence[PartitionScheme] = TPCW_SCHEMES,
+        num_partitions: int = 5,
+    ) -> None:
+        self.schemes = tuple(schemes)
+        self.engine = VoltDBSystem(
+            schema, sim, self.schemes[0], num_partitions
+        )
+        self._statements = {s.statement_id: s.sql for s in workload}
+
+    @property
+    def sim(self) -> Simulation:
+        return self.engine.sim
+
+    def statement(self, statement_id: str) -> str:
+        return self._statements[statement_id]
+
+    def scheme_for(self, sql: str) -> PartitionScheme | None:
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, Select):
+            return self.schemes[0]
+        for scheme in self.schemes:
+            self.engine.set_scheme(scheme)
+            try:
+                self.engine.check_supported(stmt)
+                return scheme
+            except UnsupportedStatementError:
+                continue
+        return None
+
+    def supports(self, statement_id: str) -> bool:
+        return self.scheme_for(self._statements[statement_id]) is not None
+
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        scheme = self.scheme_for(sql)
+        if scheme is None:
+            raise UnsupportedStatementError(
+                "query joins are not supported under any partitioning scheme"
+            )
+        self.engine.set_scheme(scheme)
+        return self.engine.execute(sql, params)
+
+    def load_row(self, relation: str, row: dict[str, Any]) -> None:
+        self.engine.load_row(relation, row)
+
+    def finish_load(self) -> None:
+        self.engine.set_scheme(self.schemes[0])
+        self.sim.reset_clock()
+
+    def db_size_bytes(self) -> int:
+        return self.engine.db_size_bytes()

@@ -1,0 +1,323 @@
+"""Deterministic, scalable TPC-W data generator.
+
+Scaling rules follow the paper (Sec. IX-D1): ``NUM_ITEMS = 10 x
+NUM_CUST`` and a Customer:Orders cardinality of 1:10. Everything is
+seeded, so two generators with the same scale and seed produce
+byte-identical databases — the five evaluated systems are populated
+from the same stream.
+
+Rows are yielded relation by relation in foreign-key (topological)
+order, so loaders can construct view tuples as they go.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.sim.rng import derive_rng
+
+SUBJECTS = (
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+)
+
+SHIP_TYPES = ("AIR", "UPS", "FEDEX", "SHIP", "COURIER", "MAIL")
+CARD_TYPES = ("VISA", "MASTERCARD", "DISCOVER", "AMEX", "DINERS")
+STATUSES = ("PROCESSING", "SHIPPED", "PENDING", "DENIED")
+BACKINGS = ("HARDBACK", "PAPERBACK", "USED", "AUDIO", "LIMITED-EDITION")
+
+NUM_COUNTRIES = 92
+BASE_DATE = 730_000  # a fixed date ordinal, so runs are reproducible
+
+
+class TpcwDataGenerator:
+    """Generates the TPC-W database at a given customer scale."""
+
+    def __init__(self, num_customers: int, seed: int = 0) -> None:
+        if num_customers < 10:
+            raise ValueError("num_customers must be >= 10")
+        self.num_customers = num_customers
+        self.num_items = 10 * num_customers
+        self.num_authors = max(self.num_items // 4, 1)
+        self.num_addresses = 2 * num_customers
+        self.num_orders = 10 * num_customers  # paper: 1:10 cardinality
+        self.num_carts = max(num_customers // 5, 1)
+        self.seed = seed
+        self._rng = derive_rng(seed, f"tpcw-{num_customers}")
+        self.order_line_count = 0
+
+    # -- helpers ------------------------------------------------------------------
+    def _string(self, prefix: str, ident: int, length: int) -> str:
+        body = f"{prefix}{ident}"
+        return (body * (length // len(body) + 1))[:length]
+
+    def relation_order(self) -> tuple[str, ...]:
+        return (
+            "Country",
+            "Address",
+            "Author",
+            "Customer",
+            "Item",
+            "Orders",
+            "Order_line",
+            "CC_Xacts",
+            "Shopping_cart",
+            "Shopping_cart_line",
+        )
+
+    def rows_for(self, relation: str) -> Iterator[dict[str, Any]]:
+        return getattr(self, f"gen_{relation.lower()}")()
+
+    def all_rows(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        for relation in self.relation_order():
+            for row in self.rows_for(relation):
+                yield relation, row
+
+    # -- relations ------------------------------------------------------------------
+    def gen_country(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "country")
+        for co_id in range(1, NUM_COUNTRIES + 1):
+            yield {
+                "co_id": co_id,
+                "co_name": self._string("Country", co_id, 16),
+                "co_exchange": round(float(rng.uniform(0.1, 10.0)), 4),
+                "co_currency": self._string("CUR", co_id, 8),
+            }
+
+    def gen_address(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "address")
+        for addr_id in range(1, self.num_addresses + 1):
+            yield {
+                "addr_id": addr_id,
+                "addr_street1": self._string("Street", addr_id, 24),
+                "addr_street2": self._string("Apt", addr_id, 12),
+                "addr_city": self._string("City", addr_id % 997, 14),
+                "addr_state": self._string("ST", addr_id % 51, 6),
+                "addr_zip": f"{addr_id % 100000:05d}",
+                "addr_co_id": int(rng.integers(1, NUM_COUNTRIES + 1)),
+            }
+
+    def gen_author(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "author")
+        for a_id in range(1, self.num_authors + 1):
+            yield {
+                "a_id": a_id,
+                "a_fname": self._string("First", a_id, 12),
+                "a_lname": self._string("Last", a_id, 12),
+                "a_mname": self._string("M", a_id, 6),
+                "a_dob": BASE_DATE - int(rng.integers(8_000, 30_000)),
+                "a_bio": self._string("Bio", a_id, 200),
+            }
+
+    def gen_customer(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "customer")
+        for c_id in range(1, self.num_customers + 1):
+            since = BASE_DATE - int(rng.integers(0, 2_000))
+            yield {
+                "c_id": c_id,
+                "c_uname": self.customer_uname(c_id),
+                "c_passwd": self._string("pw", c_id, 10),
+                "c_fname": self._string("Cf", c_id, 10),
+                "c_lname": self._string("Cl", c_id, 10),
+                "c_addr_id": 1 + (c_id - 1) % self.num_addresses,
+                "c_phone": f"+1-{c_id % 1000:03d}-{c_id % 10000:04d}",
+                "c_email": f"c{c_id}@example.com",
+                "c_since": since,
+                "c_last_login": since + int(rng.integers(0, 500)),
+                "c_login": round(float(rng.uniform(0, 7200)), 2),
+                "c_expiration": round(float(rng.uniform(0, 7200)), 2),
+                "c_discount": round(float(rng.uniform(0, 0.5)), 2),
+                "c_balance": round(float(rng.uniform(-100, 1000)), 2),
+                "c_ytd_pmt": round(float(rng.uniform(0, 10000)), 2),
+                "c_birthdate": BASE_DATE - int(rng.integers(6_000, 30_000)),
+                "c_data": self._string("Data", c_id, 250),
+            }
+
+    def gen_item(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "item")
+        for i_id in range(1, self.num_items + 1):
+            related = rng.integers(1, self.num_items + 1, size=5)
+            srp = round(float(rng.uniform(1, 300)), 2)
+            yield {
+                "i_id": i_id,
+                "i_title": self._string("Title", i_id, 30),
+                "i_a_id": 1 + (i_id - 1) % self.num_authors,
+                "i_pub_date": BASE_DATE - int(rng.integers(0, 5_000)),
+                "i_publisher": self._string("Pub", i_id % 997, 20),
+                "i_subject": SUBJECTS[i_id % len(SUBJECTS)],
+                "i_desc": self._string("Desc", i_id, 250),
+                "i_related1": int(related[0]),
+                "i_related2": int(related[1]),
+                "i_related3": int(related[2]),
+                "i_related4": int(related[3]),
+                "i_related5": int(related[4]),
+                "i_thumbnail": f"img/t{i_id}.gif",
+                "i_image": f"img/i{i_id}.gif",
+                "i_srp": srp,
+                "i_cost": round(srp * float(rng.uniform(0.5, 1.0)), 2),
+                "i_avail": BASE_DATE + int(rng.integers(0, 30)),
+                "i_stock": int(rng.integers(10, 30)),
+                "i_isbn": self._string("ISBN", i_id, 13),
+                "i_page": int(rng.integers(20, 9999)),
+                "i_backing": BACKINGS[i_id % len(BACKINGS)],
+                "i_dimensions": "20x15x2",
+            }
+
+    def gen_orders(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "orders")
+        for o_id in range(1, self.num_orders + 1):
+            sub = round(float(rng.uniform(10, 1000)), 2)
+            yield {
+                "o_id": o_id,
+                "o_c_id": 1 + (o_id - 1) % self.num_customers,
+                "o_date": BASE_DATE + int(rng.integers(0, 366)),
+                "o_sub_total": sub,
+                "o_tax": round(sub * 0.0825, 2),
+                "o_total": round(sub * 1.0825, 2),
+                "o_ship_type": SHIP_TYPES[o_id % len(SHIP_TYPES)],
+                "o_ship_date": BASE_DATE + int(rng.integers(0, 380)),
+                "o_bill_addr_id": 1 + int(rng.integers(0, self.num_addresses)),
+                "o_ship_addr_id": 1 + int(rng.integers(0, self.num_addresses)),
+                "o_status": STATUSES[o_id % len(STATUSES)],
+            }
+
+    def gen_order_line(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "order_line")
+        count = 0
+        for o_id in range(1, self.num_orders + 1):
+            lines = int(rng.integers(1, 6))  # avg 3 lines per order
+            for ol_id in range(1, lines + 1):
+                count += 1
+                yield {
+                    "ol_o_id": o_id,
+                    "ol_id": ol_id,
+                    "ol_i_id": 1 + int(rng.integers(0, self.num_items)),
+                    "ol_qty": int(rng.integers(1, 10)),
+                    "ol_discount": round(float(rng.uniform(0, 0.5)), 2),
+                    "ol_comments": self._string("Com", count, 40),
+                }
+        self.order_line_count = count
+
+    def gen_cc_xacts(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "cc_xacts")
+        for o_id in range(1, self.num_orders + 1):
+            yield {
+                "cx_o_id": o_id,
+                "cx_type": CARD_TYPES[o_id % len(CARD_TYPES)],
+                "cx_num": f"{int(rng.integers(10**15, 10**16 - 1))}",
+                "cx_name": self._string("Card", o_id, 20),
+                "cx_expire": BASE_DATE + int(rng.integers(300, 1500)),
+                "cx_auth_id": self._string("AUTH", o_id, 15),
+                "cx_xact_amt": round(float(rng.uniform(10, 1100)), 2),
+                "cx_xact_date": BASE_DATE + int(rng.integers(0, 366)),
+                "cx_co_id": int(rng.integers(1, NUM_COUNTRIES + 1)),
+            }
+
+    def gen_shopping_cart(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "cart")
+        for sc_id in range(1, self.num_carts + 1):
+            yield {
+                "sc_id": sc_id,
+                "sc_time": round(float(rng.uniform(0, 10**6)), 2),
+            }
+
+    def gen_shopping_cart_line(self) -> Iterator[dict[str, Any]]:
+        rng = derive_rng(self.seed, "cart_line")
+        for sc_id in range(1, self.num_carts + 1):
+            lines = int(rng.integers(1, 6))
+            items = rng.choice(self.num_items, size=lines, replace=False)
+            for i in items:
+                yield {
+                    "scl_sc_id": sc_id,
+                    "scl_i_id": int(i) + 1,
+                    "scl_qty": int(rng.integers(1, 10)),
+                }
+
+    # -- parameter provider (for running workload statements) -----------------------
+    def customer_uname(self, c_id: int) -> str:
+        return f"uname{c_id:09d}"
+
+    def params_for_query(self, query_id: str, rep: int = 0) -> tuple[Any, ...]:
+        """Deterministic, valid parameters for each Fig. 15 query."""
+        rng = derive_rng(self.seed, f"params-{query_id}-{rep}")
+        c_id = int(rng.integers(1, self.num_customers + 1))
+        i_id = int(rng.integers(1, self.num_items + 1))
+        o_id = int(rng.integers(1, self.num_orders + 1))
+        sc_id = int(rng.integers(1, self.num_carts + 1))
+        subject = SUBJECTS[int(rng.integers(0, len(SUBJECTS)))]
+        return {
+            "Q1": (o_id,),
+            "Q2": (self.customer_uname(c_id),),
+            "Q3": (self.customer_uname(c_id),),
+            "Q4": (subject,),
+            "Q5": (subject,),
+            "Q6": (i_id,),
+            "Q7": (o_id,),
+            "Q8": (sc_id,),
+            "Q9": (i_id,),
+            "Q10": (subject,),
+            "Q11": (i_id,),
+        }[query_id]
+
+    def params_for_write(self, write_id: str, rep: int = 0) -> tuple[Any, ...]:
+        """Deterministic parameters for each Fig. 16 write statement.
+
+        Inserts use fresh ids above the populated range (offset by rep)
+        so repetitions do not collide. The id draws are shared across
+        write ids at the same rep, so W8 deletes exactly the line W7
+        inserted and W12 updates a line that exists."""
+        rng = derive_rng(self.seed, f"wparams-{rep}")
+        new_o_id = self.num_orders + 1 + rep
+        new_c_id = self.num_customers + 1 + rep
+        new_addr_id = self.num_addresses + 1 + rep
+        new_sc_id = self.num_carts + 1 + rep
+        c_id = int(rng.integers(1, self.num_customers + 1))
+        i_id = int(rng.integers(1, self.num_items + 1))
+        o_id = int(rng.integers(1, self.num_orders + 1))
+        sc_id = int(rng.integers(1, self.num_carts + 1))
+        return {
+            "W1": (
+                new_o_id, c_id, BASE_DATE + 400, 100.0, 8.25, 108.25,
+                "AIR", BASE_DATE + 402, 1 + (c_id % self.num_addresses),
+                1 + (c_id % self.num_addresses), "PENDING",
+            ),
+            "W2": (
+                new_o_id, "VISA", "4000111122223333", "CARDHOLDER",
+                BASE_DATE + 900, "AUTH12345", 108.25, BASE_DATE + 400, 1,
+            ),
+            "W3": (o_id, 90 + rep, i_id, 2, 0.1, "bench order line"),
+            "W4": (
+                new_c_id, self.customer_uname(new_c_id), "pw", "F", "L",
+                1 + (new_c_id % self.num_addresses), "+1-000-0000",
+                f"c{new_c_id}@example.com", BASE_DATE, BASE_DATE, 0.0,
+                7200.0, 0.1, 0.0, 0.0, BASE_DATE - 9000, "data",
+            ),
+            "W5": (
+                new_addr_id, "1 Bench St", "", "BenchCity", "TN", "37201",
+                1 + (new_addr_id % NUM_COUNTRIES),
+            ),
+            "W6": (new_sc_id, 1000.0 + rep),
+            "W7": (sc_id, 1 + ((i_id + 7 * (rep + 1)) % self.num_items), 3),
+            "W8": (sc_id, 1 + ((i_id + 7 * (rep + 1)) % self.num_items)),
+            "W9": (42 + rep, i_id),
+            "W10": (19.99, BASE_DATE + 10, "img/new.gif", "img/newt.gif", i_id),
+            "W11": (2000.0 + rep, sc_id),
+            "W12": (5 + rep, *self.existing_cart_line(sc_id)),
+            "W13": (123.45, 678.9, 3600.0, c_id),
+        }[write_id]
+
+    def existing_cart_line(self, sc_id: int) -> tuple[int, int]:
+        """(scl_sc_id, scl_i_id) of a line that exists for this cart
+        (replays gen_shopping_cart_line's draw sequence exactly)."""
+        rng = derive_rng(self.seed, "cart_line")
+        for cur_sc in range(1, self.num_carts + 1):
+            lines = int(rng.integers(1, 6))
+            items = rng.choice(self.num_items, size=lines, replace=False)
+            if cur_sc == sc_id:
+                return sc_id, int(items[0]) + 1
+            for _ in range(lines):  # the per-line qty draws
+                rng.integers(1, 10)
+        raise ValueError(f"no cart {sc_id}")  # pragma: no cover

@@ -1,0 +1,140 @@
+"""The TPC-W micro-benchmark (paper Sec. IX-B, Figs. 8-10).
+
+Three relations — Customer, Orders, Order_line — with 1:10 cardinality
+ratios, and two foreign-key equi-join queries Q1 (Customer x Orders) and
+Q2 (Customer x Orders x Order_line). Each join can be answered by the
+join algorithm over base tables or by scanning the corresponding
+materialized view; Fig. 10 compares the two."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, Index, Relation, Schema
+from repro.relational.workload import Workload
+from repro.sim.rng import derive_rng
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+VARCHAR = DataType.VARCHAR
+
+MICRO_ROOTS = ("Customer",)
+
+#: Fig. 9 — queries written against base tables and against the views.
+MICRO_Q1_BASE = (
+    "SELECT * FROM Customer as c, Orders as o WHERE c.c_id = o.o_c_id"
+)
+MICRO_Q2_BASE = (
+    "SELECT * FROM Customer as c, Orders as o, Order_line as ol "
+    "WHERE c.c_id = o.o_c_id and o.o_id = ol.ol_o_id"
+)
+MICRO_Q1_VIEW = "SELECT * FROM MV_Customer__Orders"
+MICRO_Q2_VIEW = "SELECT * FROM MV_Customer__Orders__Order_line"
+
+
+def micro_schema() -> Schema:
+    customer = Relation(
+        "Customer",
+        [
+            ("c_id", INT),
+            ("c_uname", VARCHAR),
+            ("c_fname", VARCHAR),
+            ("c_lname", VARCHAR),
+            ("c_data", VARCHAR),
+        ],
+        primary_key=["c_id"],
+    )
+    orders = Relation(
+        "Orders",
+        [
+            ("o_id", INT),
+            ("o_c_id", INT),
+            ("o_date", INT),
+            ("o_total", FLOAT),
+            ("o_status", VARCHAR),
+        ],
+        primary_key=["o_id"],
+        foreign_keys=[ForeignKey("order_customer", ("o_c_id",), "Customer")],
+    )
+    order_line = Relation(
+        "Order_line",
+        [
+            ("ol_o_id", INT),
+            ("ol_id", INT),
+            ("ol_i_id", INT),
+            ("ol_qty", INT),
+            ("ol_comments", VARCHAR),
+        ],
+        primary_key=["ol_o_id", "ol_id"],
+        foreign_keys=[ForeignKey("ol_order", ("ol_o_id",), "Orders")],
+    )
+    schema = Schema([customer, orders, order_line])
+    schema.add_index(
+        "Orders",
+        Index(
+            "idx_o_c_id",
+            ("o_c_id",),
+            ("o_id", "o_date", "o_total", "o_status"),
+        ),
+    )
+    return schema
+
+
+def micro_workload() -> Workload:
+    w = Workload()
+    w.add(MICRO_Q1_BASE, statement_id="Q1")
+    w.add(MICRO_Q2_BASE, statement_id="Q2")
+    return w
+
+
+class MicrobenchDataGenerator:
+    """1:10:10 cardinality chain, deterministic."""
+
+    def __init__(self, num_customers: int, seed: int = 0) -> None:
+        self.num_customers = num_customers
+        self.num_orders = 10 * num_customers
+        self.num_order_lines = 10 * self.num_orders
+        self.seed = seed
+
+    def relation_order(self) -> tuple[str, ...]:
+        return ("Customer", "Orders", "Order_line")
+
+    def rows_for(self, relation: str) -> Iterator[dict[str, Any]]:
+        if relation == "Customer":
+            for c_id in range(1, self.num_customers + 1):
+                yield {
+                    "c_id": c_id,
+                    "c_uname": f"u{c_id:09d}",
+                    "c_fname": f"F{c_id}",
+                    "c_lname": f"L{c_id}",
+                    "c_data": "x" * 40,
+                }
+        elif relation == "Orders":
+            rng = derive_rng(self.seed, "micro-orders")
+            for o_id in range(1, self.num_orders + 1):
+                yield {
+                    "o_id": o_id,
+                    "o_c_id": 1 + (o_id - 1) % self.num_customers,
+                    "o_date": 730_000 + int(rng.integers(0, 366)),
+                    "o_total": round(float(rng.uniform(1, 500)), 2),
+                    "o_status": "SHIPPED",
+                }
+        elif relation == "Order_line":
+            rng = derive_rng(self.seed, "micro-ol")
+            for o_id in range(1, self.num_orders + 1):
+                for ol_id in range(1, 11):  # exactly 1:10
+                    yield {
+                        "ol_o_id": o_id,
+                        "ol_id": ol_id,
+                        "ol_i_id": int(rng.integers(1, 1000)),
+                        "ol_qty": int(rng.integers(1, 10)),
+                        "ol_comments": "y" * 20,
+                    }
+        else:  # pragma: no cover - guarded by relation_order
+            raise KeyError(relation)
+
+    def all_rows(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        for relation in self.relation_order():
+            for row in self.rows_for(relation):
+                yield relation, row

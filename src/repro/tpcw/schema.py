@@ -1,0 +1,232 @@
+"""The TPC-W schema (10 relations) with the base-table indexes the
+workload needs. Roots for Synergy: {Author, Customer, Country} (Sec.
+IX-D2)."""
+
+from __future__ import annotations
+
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, Index, Relation, Schema
+
+INT = DataType.INT
+FLOAT = DataType.FLOAT
+VARCHAR = DataType.VARCHAR
+DATE = DataType.DATE
+
+TPCW_ROOTS = ("Author", "Customer", "Country")
+
+
+def tpcw_schema() -> Schema:
+    country = Relation(
+        "Country",
+        [
+            ("co_id", INT),
+            ("co_name", VARCHAR),
+            ("co_exchange", FLOAT),
+            ("co_currency", VARCHAR),
+        ],
+        primary_key=["co_id"],
+    )
+    address = Relation(
+        "Address",
+        [
+            ("addr_id", INT),
+            ("addr_street1", VARCHAR),
+            ("addr_street2", VARCHAR),
+            ("addr_city", VARCHAR),
+            ("addr_state", VARCHAR),
+            ("addr_zip", VARCHAR),
+            ("addr_co_id", INT),
+        ],
+        primary_key=["addr_id"],
+        foreign_keys=[ForeignKey("addr_country", ("addr_co_id",), "Country")],
+    )
+    customer = Relation(
+        "Customer",
+        [
+            ("c_id", INT),
+            ("c_uname", VARCHAR),
+            ("c_passwd", VARCHAR),
+            ("c_fname", VARCHAR),
+            ("c_lname", VARCHAR),
+            ("c_addr_id", INT),
+            ("c_phone", VARCHAR),
+            ("c_email", VARCHAR),
+            ("c_since", DATE),
+            ("c_last_login", DATE),
+            ("c_login", FLOAT),
+            ("c_expiration", FLOAT),
+            ("c_discount", FLOAT),
+            ("c_balance", FLOAT),
+            ("c_ytd_pmt", FLOAT),
+            ("c_birthdate", DATE),
+            ("c_data", VARCHAR),
+        ],
+        primary_key=["c_id"],
+        foreign_keys=[ForeignKey("cust_addr", ("c_addr_id",), "Address")],
+    )
+    author = Relation(
+        "Author",
+        [
+            ("a_id", INT),
+            ("a_fname", VARCHAR),
+            ("a_lname", VARCHAR),
+            ("a_mname", VARCHAR),
+            ("a_dob", DATE),
+            ("a_bio", VARCHAR),
+        ],
+        primary_key=["a_id"],
+    )
+    item = Relation(
+        "Item",
+        [
+            ("i_id", INT),
+            ("i_title", VARCHAR),
+            ("i_a_id", INT),
+            ("i_pub_date", DATE),
+            ("i_publisher", VARCHAR),
+            ("i_subject", VARCHAR),
+            ("i_desc", VARCHAR),
+            ("i_related1", INT),
+            ("i_related2", INT),
+            ("i_related3", INT),
+            ("i_related4", INT),
+            ("i_related5", INT),
+            ("i_thumbnail", VARCHAR),
+            ("i_image", VARCHAR),
+            ("i_srp", FLOAT),
+            ("i_cost", FLOAT),
+            ("i_avail", DATE),
+            ("i_stock", INT),
+            ("i_isbn", VARCHAR),
+            ("i_page", INT),
+            ("i_backing", VARCHAR),
+            ("i_dimensions", VARCHAR),
+        ],
+        primary_key=["i_id"],
+        foreign_keys=[ForeignKey("item_author", ("i_a_id",), "Author")],
+    )
+    orders = Relation(
+        "Orders",
+        [
+            ("o_id", INT),
+            ("o_c_id", INT),
+            ("o_date", DATE),
+            ("o_sub_total", FLOAT),
+            ("o_tax", FLOAT),
+            ("o_total", FLOAT),
+            ("o_ship_type", VARCHAR),
+            ("o_ship_date", DATE),
+            ("o_bill_addr_id", INT),
+            ("o_ship_addr_id", INT),
+            ("o_status", VARCHAR),
+        ],
+        primary_key=["o_id"],
+        foreign_keys=[
+            ForeignKey("order_customer", ("o_c_id",), "Customer"),
+            ForeignKey("order_bill_addr", ("o_bill_addr_id",), "Address"),
+            ForeignKey("order_ship_addr", ("o_ship_addr_id",), "Address"),
+        ],
+    )
+    order_line = Relation(
+        "Order_line",
+        [
+            ("ol_o_id", INT),
+            ("ol_id", INT),
+            ("ol_i_id", INT),
+            ("ol_qty", INT),
+            ("ol_discount", FLOAT),
+            ("ol_comments", VARCHAR),
+        ],
+        primary_key=["ol_o_id", "ol_id"],
+        foreign_keys=[
+            ForeignKey("ol_order", ("ol_o_id",), "Orders"),
+            ForeignKey("ol_item", ("ol_i_id",), "Item"),
+        ],
+    )
+    cc_xacts = Relation(
+        "CC_Xacts",
+        [
+            ("cx_o_id", INT),
+            ("cx_type", VARCHAR),
+            ("cx_num", VARCHAR),
+            ("cx_name", VARCHAR),
+            ("cx_expire", DATE),
+            ("cx_auth_id", VARCHAR),
+            ("cx_xact_amt", FLOAT),
+            ("cx_xact_date", DATE),
+            ("cx_co_id", INT),
+        ],
+        primary_key=["cx_o_id"],
+        foreign_keys=[
+            ForeignKey("cx_order", ("cx_o_id",), "Orders"),
+            ForeignKey("cx_country", ("cx_co_id",), "Country"),
+        ],
+    )
+    shopping_cart = Relation(
+        "Shopping_cart",
+        [("sc_id", INT), ("sc_time", FLOAT)],
+        primary_key=["sc_id"],
+    )
+    shopping_cart_line = Relation(
+        "Shopping_cart_line",
+        [
+            ("scl_sc_id", INT),
+            ("scl_i_id", INT),
+            ("scl_qty", INT),
+        ],
+        primary_key=["scl_sc_id", "scl_i_id"],
+        foreign_keys=[
+            ForeignKey("scl_cart", ("scl_sc_id",), "Shopping_cart"),
+            ForeignKey("scl_item", ("scl_i_id",), "Item"),
+        ],
+    )
+    schema = Schema(
+        [
+            country,
+            address,
+            customer,
+            author,
+            item,
+            orders,
+            order_line,
+            cc_xacts,
+            shopping_cart,
+            shopping_cart_line,
+        ]
+    )
+
+    # base-table covered indexes the workload requires (the paper assumes
+    # the input schema has the necessary base-table indexes, Sec. VI-C)
+    schema.add_index(
+        "Customer",
+        Index(
+            "idx_c_uname",
+            ("c_uname",),
+            tuple(a for a in customer.attribute_names if a != "c_uname"),
+        ),
+    )
+    schema.add_index(
+        "Item",
+        Index(
+            "idx_i_subject",
+            ("i_subject",),
+            tuple(a for a in item.attribute_names if a != "i_subject"),
+        ),
+    )
+    schema.add_index(
+        "Orders",
+        Index(
+            "idx_o_c_id",
+            ("o_c_id",),
+            tuple(a for a in orders.attribute_names if a != "o_c_id"),
+        ),
+    )
+    schema.add_index(
+        "Order_line",
+        Index(
+            "idx_ol_i_id",
+            ("ol_i_id",),
+            tuple(a for a in order_line.attribute_names if a != "ol_i_id"),
+        ),
+    )
+    return schema

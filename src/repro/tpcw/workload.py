@@ -1,0 +1,20 @@
+"""The assembled TPC-W workload: Q1-Q11 + W1-W13 as one Workload."""
+
+from __future__ import annotations
+
+from repro.relational.workload import Workload
+from repro.tpcw.queries import JOIN_QUERIES
+from repro.tpcw.writes import WRITE_STATEMENTS
+
+
+def tpcw_workload(
+    include_reads: bool = True, include_writes: bool = True
+) -> Workload:
+    w = Workload()
+    if include_reads:
+        for qid, sql in JOIN_QUERIES.items():
+            w.add(sql, statement_id=qid)
+    if include_writes:
+        for wid, sql in WRITE_STATEMENTS.items():
+            w.add(sql, statement_id=wid)
+    return w

@@ -1,0 +1,15 @@
+"""A VoltDB-style NewSQL engine (paper Sec. IX-D2).
+
+In-memory tables, each either **partitioned on a single column** or
+**replicated**; single-threaded partition executors; stored-procedure
+style statement execution. Joins are legal only when every partitioned
+table joins on its partitioning column (co-located execution) — the
+restricted query expressiveness the paper contrasts Synergy against.
+Queries needing anything else raise
+:class:`~repro.errors.UnsupportedStatementError`, which is exactly how
+Q3, Q7, Q9 and Q10 earn their X in Fig. 12.
+"""
+
+from repro.voltdb.system import PartitionScheme, VoltDBSystem, TPCW_SCHEMES
+
+__all__ = ["PartitionScheme", "TPCW_SCHEMES", "VoltDBSystem"]

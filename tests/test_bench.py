@@ -1,0 +1,85 @@
+"""Benchmark harness: statistics, result rendering, and the fast
+experiments (Fig. 10 at tiny scale, Fig. 11, static tables)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.experiments import run_fig10, run_fig11, run_fig13, run_table1
+from repro.bench.harness import (
+    ExperimentResult,
+    Stat,
+    ratio_of_means,
+    render_table,
+    summarize,
+)
+
+
+class TestStats:
+    def test_summarize_mean_and_stderr(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stderr == pytest.approx(math.sqrt(1.0 / 3.0))
+        assert s.n == 3
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0 and s.stderr == 0.0
+
+    def test_empty(self):
+        assert math.isnan(summarize([]).mean)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=50))
+    def test_mean_within_range(self, xs):
+        s = summarize(xs)
+        assert min(xs) - 1e-9 <= s.mean <= max(xs) + 1e-9
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_experiment_result_text(self):
+        r = ExperimentResult("F", "title", "x")
+        r.x_values = [1, 2]
+        s = r.add_series("sys")
+        s.set(1, Stat(10.0, 0.5, 3))
+        s.set(2, None)
+        text = r.to_text()
+        assert "10.0" in text and "X" in text
+
+    def test_ratio_of_means(self):
+        r = ExperimentResult("F", "t", "x")
+        r.x_values = ["a"]
+        r.add_series("n").set("a", Stat(10.0, 0, 1))
+        r.add_series("d").set("a", Stat(5.0, 0, 1))
+        assert ratio_of_means(r, "n", "d") == pytest.approx(2.0)
+
+
+class TestFastExperiments:
+    def test_fig11_overhead_monotonic(self):
+        result = run_fig11(lock_counts=(5, 50), repetitions=2)
+        small = result.get("Overhead", 5)
+        large = result.get("Overhead", 50)
+        assert small.mean < large.mean
+        # fixed setup cost dominates the small count (sub-linear shape)
+        assert large.mean < small.mean * 10
+
+    def test_fig10_view_scan_beats_join(self):
+        results = run_fig10(scales=(20,), repetitions=2)
+        for qid, result in results.items():
+            view = result.get("View Scan", 20)
+            join = result.get("Join Algorithm", 20)
+            assert view.mean < join.mean, qid
+
+    def test_fig13_matrix(self):
+        text = run_fig13()
+        for name in ("VoltDB", "Synergy", "MVCC-A", "MVCC-UA", "Baseline"):
+            assert name in text
+
+    def test_table1_static(self):
+        text = run_table1()
+        assert "read committed" in text

@@ -1,0 +1,101 @@
+"""Value-codec tests, including order preservation (hypothesis)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hbase.bytes_util import decode_key, encode_key, next_key, split_key
+from repro.relational.datatypes import (
+    DataType,
+    decode_value,
+    encode_value,
+    value_size_bytes,
+)
+
+INTS = st.integers(min_value=-(2**62), max_value=2**62)
+TEXT = st.text(max_size=64)
+
+
+class TestScalarCodec:
+    @given(INTS)
+    def test_int_roundtrip(self, v):
+        assert decode_value(DataType.INT, encode_value(DataType.INT, v)) == v
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip(self, v):
+        assert decode_value(DataType.FLOAT, encode_value(DataType.FLOAT, v)) == v
+
+    @given(TEXT)
+    def test_varchar_roundtrip(self, v):
+        assert (
+            decode_value(DataType.VARCHAR, encode_value(DataType.VARCHAR, v)) == v
+            or v == ""  # empty string encodes like NULL, as in HBase
+        )
+
+    @given(st.booleans())
+    def test_bool_roundtrip(self, v):
+        assert decode_value(DataType.BOOL, encode_value(DataType.BOOL, v)) is v
+
+    def test_null_encodes_empty(self):
+        for dtype in DataType:
+            assert encode_value(dtype, None) == b""
+            assert decode_value(dtype, b"") is None
+
+    @given(INTS, INTS)
+    def test_int_encoding_preserves_order(self, a, b):
+        ea, eb = encode_value(DataType.INT, a), encode_value(DataType.INT, b)
+        assert (a < b) == (ea < eb)
+
+    @given(st.integers(min_value=0, max_value=3_000_000),
+           st.integers(min_value=0, max_value=3_000_000))
+    def test_date_encoding_preserves_order(self, a, b):
+        ea, eb = encode_value(DataType.DATE, a), encode_value(DataType.DATE, b)
+        assert (a < b) == (ea < eb)
+
+    def test_size_accounting(self):
+        assert value_size_bytes(DataType.INT, 5) == 8
+        assert value_size_bytes(DataType.VARCHAR, "abc") == 3
+
+
+KEY_TYPES = st.sampled_from([DataType.INT, DataType.VARCHAR])
+
+
+class TestCompositeKeys:
+    @given(st.lists(st.tuples(KEY_TYPES, st.integers(0, 10**9) | TEXT),
+                    min_size=1, max_size=4))
+    def test_key_roundtrip(self, parts):
+        dtypes, values = [], []
+        for dtype, value in parts:
+            if dtype is DataType.INT and isinstance(value, str):
+                value = len(value)
+            if dtype is DataType.VARCHAR and isinstance(value, int):
+                value = str(value)
+            dtypes.append(dtype)
+            values.append(value)
+        key = encode_key(dtypes, values)
+        decoded = decode_key(dtypes, key)
+        expected = tuple(None if v == "" else v for v in values)
+        assert decoded == expected
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            encode_key([DataType.INT], [1, 2])
+        with pytest.raises(ValueError):
+            decode_key([DataType.INT, DataType.INT],
+                       encode_key([DataType.INT], [1]))
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_int_composite_keys_sort_like_tuples(self, a, b):
+        dtypes = [DataType.INT, DataType.INT]
+        ka = encode_key(dtypes, [a, b])
+        kb = encode_key(dtypes, [b, a])
+        assert ((a, b) < (b, a)) == (ka < kb)
+
+    def test_embedded_delimiter_escaped(self):
+        dtypes = [DataType.VARCHAR, DataType.VARCHAR]
+        key = encode_key(dtypes, ["a\x00b", "c"])
+        assert decode_key(dtypes, key) == ("a\x00b", "c")
+        assert len(split_key(key)) == 2
+
+    def test_next_key_orders_after_prefix(self):
+        key = encode_key([DataType.INT], [7])
+        assert next_key(key) > key

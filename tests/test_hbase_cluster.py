@@ -1,0 +1,265 @@
+"""Region/cluster/client behaviour: routing, DML primitives, scans,
+compaction, recovery, size accounting, and cost charging."""
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.errors import RegionUnavailableError, TableExistsError, TableNotFoundError
+from repro.hbase import (
+    Delete,
+    Get,
+    HBaseClient,
+    HBaseCluster,
+    Increment,
+    Put,
+    Scan,
+)
+from repro.hbase.filters import AndFilter, ColumnValueFilter, PrefixFilter
+from repro.sim.clock import Simulation
+
+CF = b"cf"
+
+
+def put(table, key, **cols):
+    p = Put(key)
+    for q, v in cols.items():
+        p.add(CF, q.encode(), v)
+    table.put(p)
+
+
+@pytest.fixture
+def table(client):
+    return client.create_table("t", families=(CF,), split_keys=[b"m"])
+
+
+class TestDdlAndRouting:
+    def test_duplicate_create_rejected(self, client, table):
+        with pytest.raises(TableExistsError):
+            client.create_table("t")
+
+    def test_unknown_table_rejected(self, client):
+        with pytest.raises(TableNotFoundError):
+            client.cluster.descriptor("nope")
+
+    def test_split_keys_create_regions(self, cluster, client, table):
+        desc = cluster.descriptor("t")
+        assert len(desc.regions) == 2
+        assert desc.region_for(b"a") is not desc.region_for(b"z")
+
+    def test_regions_balanced_round_robin(self, cluster, client):
+        for i in range(10):
+            client.create_table(f"tbl{i}")
+        counts = cluster.region_distribution()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_drop_table(self, cluster, client, table):
+        client.drop_table("t")
+        assert not client.has_table("t")
+        with pytest.raises(TableNotFoundError):
+            cluster.table_size_bytes("t")
+
+
+class TestDml:
+    def test_put_get_roundtrip(self, table):
+        put(table, b"k1", a=b"1", b=b"2")
+        r = table.get(Get(b"k1"))
+        assert r.value(CF, b"a") == b"1"
+        assert r.value(CF, b"b") == b"2"
+
+    def test_get_missing_returns_none(self, table):
+        assert table.get(Get(b"nope")) is None
+
+    def test_put_overwrites_newest(self, table):
+        put(table, b"k", a=b"old")
+        put(table, b"k", a=b"new")
+        assert table.get(Get(b"k")).value(CF, b"a") == b"new"
+
+    def test_delete_row(self, table):
+        put(table, b"k", a=b"1")
+        table.delete(Delete(b"k"))
+        assert table.get(Get(b"k")) is None
+
+    def test_delete_column_only(self, table):
+        put(table, b"k", a=b"1", b=b"2")
+        table.delete(Delete(b"k", columns=[(CF, b"a")]))
+        r = table.get(Get(b"k"))
+        assert r.value(CF, b"a") is None
+        assert r.value(CF, b"b") == b"2"
+
+    def test_increment(self, table):
+        assert table.increment(Increment(b"ctr", CF, b"n", 5)) == 5
+        assert table.increment(Increment(b"ctr", CF, b"n", -2)) == 3
+
+    def test_check_and_put_success_and_failure(self, table):
+        p = Put(b"lk")
+        p.add(CF, b"l", b"\x01")
+        assert table.check_and_put(b"lk", CF, b"l", None, p) is True
+        assert table.check_and_put(b"lk", CF, b"l", None, p) is False
+        assert table.check_and_put(b"lk", CF, b"l", b"\x01", p) is True
+
+    def test_put_batch_single_wal_sync_per_region(self, client, table):
+        puts = []
+        for i in range(10):
+            p = Put(f"a{i}".encode())
+            p.add(CF, b"v", b"x")
+            puts.append(p)
+        cluster = client.cluster
+        before = sum(s.wal.total_appends for s in cluster.servers)
+        table.put_batch(puts)
+        after = sum(s.wal.total_appends for s in cluster.servers)
+        assert after - before == 10  # entries logged
+        # but only one synchronous group sync charged for the region
+        assert cluster.sim.metrics.counters().get("client.rpc", 0) >= 1
+
+
+class TestScan:
+    def test_full_scan_sorted_across_regions(self, table):
+        for k in (b"z", b"a", b"m", b"c"):
+            put(table, k, v=k)
+        assert [r.row for r in table.scan()] == [b"a", b"c", b"m", b"z"]
+
+    def test_range_scan(self, table):
+        for k in (b"a", b"b", b"c", b"d"):
+            put(table, k, v=k)
+        rows = [r.row for r in table.scan(Scan(start_row=b"b", stop_row=b"d"))]
+        assert rows == [b"b", b"c"]
+
+    def test_limit_stops_early(self, table):
+        for i in range(20):
+            put(table, f"k{i:02d}".encode(), v=b"x")
+        rows = table.scan_all(Scan(limit=3))
+        assert len(rows) == 3
+
+    def test_column_value_filter(self, table):
+        put(table, b"k1", v=b"yes")
+        put(table, b"k2", v=b"no")
+        scan = Scan(filter=ColumnValueFilter(CF, b"v", "=", b"yes"))
+        assert [r.row for r in table.scan(scan)] == [b"k1"]
+
+    def test_prefix_filter(self, table):
+        put(table, b"aa1", v=b"x")
+        put(table, b"ab2", v=b"x")
+        scan = Scan(filter=PrefixFilter(b"aa"))
+        assert [r.row for r in table.scan(scan)] == [b"aa1"]
+
+    def test_and_filter(self, table):
+        put(table, b"k1", a=b"1", b=b"2")
+        put(table, b"k2", a=b"1", b=b"9")
+        f = AndFilter((ColumnValueFilter(CF, b"a", "=", b"1"),
+                       ColumnValueFilter(CF, b"b", "<", b"5")))
+        assert [r.row for r in table.scan(Scan(filter=f))] == [b"k1"]
+
+    def test_filtered_rows_still_cost_server_reads(self, client, table):
+        for i in range(10):
+            put(table, f"k{i}".encode(), v=b"no")
+        sim = client.cluster.sim
+        before = sum(
+            v for k, v in sim.metrics.counters().items() if ".rows_read" in k
+        )
+        table.scan_all(Scan(filter=ColumnValueFilter(CF, b"v", "=", b"yes")))
+        after = sum(
+            v for k, v in sim.metrics.counters().items() if ".rows_read" in k
+        )
+        assert after - before == 10  # all examined despite empty result
+
+
+class TestFlushCompactionAndSize:
+    def test_flush_preserves_reads(self, cluster, client, table):
+        put(table, b"k", v=b"1")
+        for region in cluster.descriptor("t").regions:
+            region.flush()
+        assert table.get(Get(b"k")).value(CF, b"v") == b"1"
+        put(table, b"k", v=b"2")  # newer write in memstore wins over hfile
+        assert table.get(Get(b"k")).value(CF, b"v") == b"2"
+
+    def test_major_compact_reclaims_deletes(self, cluster, client, table):
+        put(table, b"k1", v=b"1")
+        put(table, b"k2", v=b"2")
+        size_before = table.size_bytes()
+        table.delete(Delete(b"k1"))
+        cluster.major_compact("t")
+        assert table.row_count() == 1
+        assert table.size_bytes() < size_before
+
+    def test_row_count_ignores_tombstones(self, cluster, table):
+        for i in range(5):
+            put(table, f"k{i}".encode(), v=b"x")
+        table.delete(Delete(b"k0"))
+        assert table.row_count() == 4
+
+    def test_auto_flush_threshold(self, sim):
+        cluster = HBaseCluster(
+            sim, ClusterConfig(hfile_flush_threshold_rows=5)
+        )
+        client = HBaseClient(cluster)
+        t = client.create_table("small")
+        for i in range(12):
+            put(t, f"k{i:02d}".encode(), v=b"x")
+        region = cluster.descriptor("small").regions[0]
+        assert len(region.hfiles) >= 2
+        assert len(list(t.scan())) == 12
+
+
+class TestFailureRecovery:
+    def test_crash_makes_region_unavailable(self, cluster, client, table):
+        put(table, b"a", v=b"1")
+        server = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        server.crash()
+        with pytest.raises(RegionUnavailableError):
+            table.get(Get(b"a"))
+
+    def test_recovery_replays_wal(self, cluster, client, table):
+        put(table, b"a", v=b"1")
+        put(table, b"z", v=b"2")
+        for server in list(cluster.servers):
+            if server.regions:
+                server.crash()
+        for server in list(cluster.servers):
+            if not server.alive:
+                cluster.recover_server(server)
+        assert table.get(Get(b"a")).value(CF, b"v") == b"1"
+        assert table.get(Get(b"z")).value(CF, b"v") == b"2"
+
+    def test_recovery_preserves_hfiles_and_wal_tail(self, cluster, client, table):
+        put(table, b"a", v=b"flushed")
+        region = cluster.descriptor("t").region_for(b"a")
+        server = cluster.server_for(region)
+        server.flush_region(region)
+        put(table, b"b", v=b"in-wal")
+        server.crash()
+        cluster.recover_server(server)
+        assert table.get(Get(b"a")).value(CF, b"v") == b"flushed"
+        assert table.get(Get(b"b")).value(CF, b"v") == b"in-wal"
+
+
+class TestCostCharging:
+    def test_get_charges_rpc(self, sim, client, table):
+        before = sim.clock.now_ms
+        table.get(Get(b"missing"))
+        assert sim.clock.now_ms > before
+
+    def test_scan_batches_charge_per_batch(self, sim, cluster):
+        client = HBaseClient(cluster)
+        t = client.create_table("big")
+        for i in range(2500):
+            put(t, f"{i:06d}".encode(), v=b"x")
+        rpc_before = sim.metrics.counters().get("client.rpc", 0)
+        t.scan_all()
+        rpc_after = sim.metrics.counters()["client.rpc"]
+        # 1 open + ceil(2500/1000) batches = 4 RPCs
+        assert rpc_after - rpc_before == 4
+
+    def test_virtual_time_scales_with_rows_scanned(self, sim, cluster):
+        client = HBaseClient(cluster)
+        t = client.create_table("rows")
+        for i in range(1000):
+            put(t, f"{i:06d}".encode(), v=b"x")
+        sw = sim.stopwatch()
+        t.scan_all()
+        small = sw.stop()
+        for i in range(1000, 5000):
+            put(t, f"{i:06d}".encode(), v=b"x")
+        sw = sim.stopwatch()
+        t.scan_all()
+        large = sw.stop()
+        assert large > small * 2

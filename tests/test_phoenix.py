@@ -1,0 +1,279 @@
+"""Phoenix layer: catalog, baseline transformation, planner, executor,
+write path with index maintenance."""
+
+import pytest
+
+from repro.errors import SchemaError, UnsupportedStatementError
+from repro.phoenix.catalog import CF, INDEX, TABLE, VIEW
+from repro.phoenix.ddl import create_baseline_schema, create_view_entry
+from repro.phoenix.plans import HashJoinNode, NestedLoopJoinNode, ScanNode
+from repro.relational.company import company_schema
+from repro.relational.datatypes import DataType
+
+
+class TestCatalog:
+    def test_baseline_transformation_creates_all_tables(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        # 7 relations + 3 indexes
+        assert len(catalog.entries(TABLE)) == 7
+        assert len(catalog.entries(INDEX)) == 3
+        for entry in catalog.entries():
+            assert client.has_table(entry.name)
+
+    def test_index_key_is_xtuple_plus_pk(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        idx = catalog.entry("Employee.idx_emp_home")
+        assert idx.key_attrs == ("EHome_AID", "EID")
+        assert idx.indexed_on == ("EHome_AID",)
+
+    def test_row_key_roundtrip(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        wo = catalog.table_for_relation("Works_On")
+        row = {"WO_EID": 3, "WO_PNo": 9, "Hours": 40}
+        key = wo.encode_key(row)
+        assert wo.decode_key(key) == {"WO_EID": 3, "WO_PNo": 9}
+
+    def test_missing_key_attr_encodes_null(self, client):
+        """Index keys may carry NULL components (Phoenix semantics);
+        statement-level validation guards base-table writes instead."""
+        catalog = create_baseline_schema(client, company_schema())
+        emp = catalog.table_for_relation("Employee")
+        key = emp.encode_key({"EName": "x"})
+        assert emp.decode_key(key) == {"EID": None}
+
+    def test_view_entry_key_is_last_relations_pk(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        entry = create_view_entry(
+            client, catalog, "MV_Address__Employee", ("Address", "Employee")
+        )
+        assert entry.kind == VIEW
+        assert entry.key_attrs == ("EID",)
+        assert "Street" in entry.attrs and "EName" in entry.attrs
+
+    def test_view_projection_must_include_key(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        with pytest.raises(SchemaError):
+            create_view_entry(
+                client, catalog, "BAD", ("Address", "Employee"),
+                attributes=("Street", "EName"),
+            )
+
+    def test_resolve_from_name(self, client):
+        catalog = create_baseline_schema(client, company_schema())
+        assert catalog.resolve_from_name("Employee").kind == TABLE
+        create_view_entry(client, catalog, "V1", ("Address", "Employee"))
+        assert catalog.resolve_from_name("V1").kind == VIEW
+        with pytest.raises(SchemaError):
+            catalog.resolve_from_name("nope")
+
+
+class TestPlanner:
+    def test_point_get_for_full_key(self, company_conn):
+        plan = company_conn.plan("SELECT * FROM Employee WHERE EID = ?")
+        assert isinstance(plan.root, ScanNode)
+        assert plan.root.access.is_point()
+
+    def test_prefix_scan_for_key_prefix(self, company_conn):
+        plan = company_conn.plan("SELECT * FROM Works_On WHERE WO_EID = ?")
+        assert isinstance(plan.root, ScanNode)
+        assert plan.root.access.prefix_attrs == ("WO_EID",)
+        assert not plan.root.access.is_point()
+
+    def test_covered_index_chosen_for_filter(self, company_conn):
+        plan = company_conn.plan("SELECT * FROM Works_On WHERE Hours = ?")
+        assert plan.root.access.entry.name == "Works_On.idx_wo_hours"
+        assert plan.root.access.lookup_entry is None
+
+    def test_full_scan_fallback(self, company_conn):
+        plan = company_conn.plan("SELECT * FROM Address WHERE City = ?")
+        assert plan.root.access.prefix_attrs == ()
+        assert plan.root.access.entry.name == "Address"
+
+    def test_nested_loop_join_on_keyed_inner(self, company_conn):
+        plan = company_conn.plan(
+            "SELECT * FROM Employee as e, Address as a "
+            "WHERE a.AID = e.EHome_AID and e.EID = ?"
+        )
+        node = plan.root
+        assert isinstance(node, NestedLoopJoinNode)
+        assert node.inner.entry.name == "Address"
+
+    def test_hash_join_for_derived_table(self, company_conn):
+        plan = company_conn.plan(
+            "SELECT * FROM Employee as e, "
+            "(SELECT DNo FROM Department) as d WHERE e.E_DNo = d.DNo"
+        )
+        assert any(
+            isinstance(n, HashJoinNode)
+            for n in _walk(plan.root)
+        )
+
+    def test_explain_is_readable(self, company_conn):
+        text = company_conn.plan(
+            "SELECT * FROM Employee WHERE EID = ?"
+        ).explain()
+        assert "POINT GET Employee" in text
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+class TestExecutor:
+    def test_point_query(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT EName FROM Employee WHERE EID = ?", (3,)
+        )
+        assert rows == [{"EName": "emp3"}]
+
+    def test_two_way_join(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT * FROM Employee as e, Address as a "
+            "WHERE a.AID = e.EHome_AID and e.EID = ?", (3,)
+        )
+        assert len(rows) == 1
+        assert rows[0]["AID"] == rows[0]["EHome_AID"]
+
+    def test_three_way_join(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT * FROM Department as d, Employee as e, Works_On as wo "
+            "WHERE d.DNo = e.E_DNo and e.EID = wo.WO_EID and d.DNo = ?", (1,)
+        )
+        assert rows and all(r["DNo"] == 1 for r in rows)
+        assert all(r["EID"] == r["WO_EID"] for r in rows)
+
+    def test_order_by_and_limit(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT EID FROM Employee ORDER BY EID DESC LIMIT 3"
+        )
+        assert [r["EID"] for r in rows] == [10, 9, 8]
+
+    def test_group_by_aggregates(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT E_DNo, COUNT(*), MIN(EID), MAX(EID) FROM Employee "
+            "GROUP BY E_DNo ORDER BY E_DNo"
+        )
+        assert [r["E_DNo"] for r in rows] == [1, 2]
+        assert all(r["COUNT(*)"] == 5 for r in rows)
+
+    def test_sum_and_avg(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT WO_PNo, SUM(Hours), AVG(Hours) FROM Works_On "
+            "GROUP BY WO_PNo ORDER BY WO_PNo"
+        )
+        for r in rows:
+            assert r["AVG(Hours)"] == pytest.approx(r["SUM(Hours)"] / 5)
+
+    def test_distinct(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT DISTINCT E_DNo FROM Employee ORDER BY E_DNo"
+        )
+        assert [r["E_DNo"] for r in rows] == [1, 2]
+
+    def test_self_join(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT * FROM Employee as a, Employee as b "
+            "WHERE a.EID = ? and b.EID = ?", (1, 2)
+        )
+        assert len(rows) == 1
+        names = {v for k, v in rows[0].items() if "EName" in k}
+        assert names == {"emp1", "emp2"}
+
+    def test_derived_table_join(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT e.EName FROM Employee as e, "
+            "(SELECT DNo FROM Department WHERE DName = ?) as d "
+            "WHERE e.E_DNo = d.DNo", ("Dept1",)
+        )
+        assert len(rows) == 5
+
+    def test_theta_residual_filter(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT * FROM Employee as e, Works_On as wo "
+            "WHERE e.EID = wo.WO_EID and wo.Hours > ? and e.EID = ?", (15, 2)
+        )
+        assert all(r["Hours"] > 15 for r in rows)
+
+    def test_comparison_with_null_is_false(self, company_conn):
+        company_conn.execute_write(
+            "INSERT INTO Address (AID, Street) VALUES (?, ?)", (99, None)
+        )
+        rows = company_conn.execute_query(
+            "SELECT * FROM Address WHERE Street = ? and AID = ?", (None, 99)
+        )
+        assert rows == []
+
+    def test_range_predicates_on_encoded_values(self, company_conn):
+        rows = company_conn.execute_query(
+            "SELECT * FROM Works_On WHERE Hours >= ? and Hours <= ?", (20, 30)
+        )
+        assert rows and all(20 <= r["Hours"] <= 30 for r in rows)
+
+
+class TestWritePath:
+    def test_insert_visible_via_index(self, company_conn):
+        company_conn.execute_write(
+            "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)",
+            (9, 1, 77),
+        )
+        rows = company_conn.execute_query(
+            "SELECT * FROM Works_On WHERE Hours = ?", (77,)
+        )
+        assert len(rows) == 1
+
+    def test_update_maintains_index(self, company_conn):
+        company_conn.execute_write(
+            "UPDATE Works_On SET Hours = ? WHERE WO_EID = ? and WO_PNo = ?",
+            (99, 2, 2),
+        )
+        assert company_conn.execute_query(
+            "SELECT * FROM Works_On WHERE Hours = ?", (99,)
+        )
+        # the stale index entry must be gone
+        stale = company_conn.execute_query(
+            "SELECT * FROM Works_On WHERE Hours = ? and WO_EID = ?", (20, 2)
+        )
+        assert stale == []
+
+    def test_delete_removes_index_entries(self, company_conn):
+        company_conn.execute_write(
+            "DELETE FROM Works_On WHERE WO_EID = ? and WO_PNo = ?", (2, 2)
+        )
+        rows = company_conn.execute_query(
+            "SELECT * FROM Works_On WHERE Hours = ? and WO_EID = ?", (20, 2)
+        )
+        assert rows == []
+
+    def test_multi_row_write_rejected(self, company_conn):
+        with pytest.raises(UnsupportedStatementError):
+            company_conn.execute_write(
+                "DELETE FROM Works_On WHERE WO_EID = ?", (2,)
+            )
+        with pytest.raises(UnsupportedStatementError):
+            company_conn.execute_write(
+                "UPDATE Employee SET EName = ? WHERE E_DNo = ?", ("x", 1)
+            )
+
+    def test_key_update_rejected(self, company_conn):
+        with pytest.raises(UnsupportedStatementError):
+            company_conn.execute_write(
+                "UPDATE Employee SET EID = ? WHERE EID = ?", (100, 1)
+            )
+
+    def test_update_missing_row_returns_zero(self, company_conn):
+        n = company_conn.execute_write(
+            "UPDATE Employee SET EName = ? WHERE EID = ?", ("x", 12345)
+        )
+        assert n == 0
+
+    def test_nl_join_issues_one_probe_per_outer_row(self, company_conn):
+        sim = company_conn.sim
+        before = sim.metrics.counters().get("client.rpc", 0)
+        company_conn.execute_query(
+            "SELECT * FROM Employee as e, Address as a WHERE a.AID = e.EHome_AID"
+        )
+        rpcs = sim.metrics.counters()["client.rpc"] - before
+        # full scan of Employee (1 open + 1 batch) + 10 point gets
+        assert rpcs >= 12
