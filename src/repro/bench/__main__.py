@@ -1,12 +1,23 @@
 """CLI: regenerate every table and figure.
 
     python -m repro.bench --scale 200 --reps 10 --out results.txt
+
+``--emit-json PATH`` additionally writes a machine-readable trajectory
+file recording, per experiment, the wall-clock seconds the simulator
+itself burned plus the simulated-latency statistics (the paper's
+metric). ``--baseline-json PATH`` merges a previously emitted file in
+as the comparison baseline and reports wall-clock speedups against it.
+``--only a,b,c`` restricts the run to a subset of experiments
+(``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
+storage``) — handy for quick perf checks.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.bench.experiments import (
     run_fig10,
@@ -14,11 +25,17 @@ from repro.bench.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_storage_perf,
     run_table1,
     run_table2,
     run_table3,
 )
 from repro.bench.tpcw_lab import TpcwLab
+
+ALL_EXPERIMENTS = (
+    "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
+    "table2", "table3",
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,36 +49,138 @@ def main(argv: list[str] | None = None) -> int:
                         help="repetitions per measurement (paper: 10)")
     parser.add_argument("--micro-scales", type=str, default="50,500,5000",
                         help="comma-separated micro-benchmark scales")
+    parser.add_argument("--storage-rows", type=int, default=50_000,
+                        help="rows for the storage-layer perf experiment")
+    parser.add_argument("--only", type=str, default=None,
+                        help="comma-separated subset of experiments to run: "
+                             + ",".join(ALL_EXPERIMENTS))
     parser.add_argument("--out", type=str, default=None,
                         help="also write the report to this file")
+    parser.add_argument("--emit-json", type=str, default=None,
+                        help="write wall-clock + simulated-latency trajectory "
+                             "JSON to this file")
+    parser.add_argument("--baseline-json", type=str, default=None,
+                        help="previously emitted JSON to compare wall-clock "
+                             "against (recorded in the output)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     say = (lambda _m: None) if args.quiet else (
         lambda m: print(f"  .. {m}", file=sys.stderr)
     )
+    selected = (
+        set(ALL_EXPERIMENTS)
+        if args.only is None
+        else {s.strip() for s in args.only.split(",") if s.strip()}
+    )
+    unknown = selected - set(ALL_EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+    baseline = None
+    if args.baseline_json:
+        # fail before the (potentially long) run, not after it
+        try:
+            with open(args.baseline_json) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as e:
+            parser.error(f"cannot read --baseline-json: {e}")
+
     sections: list[str] = []
+    wall_clock_s: dict[str, float] = {}
+    experiments: dict[str, dict] = {}
 
-    sections.append("Table I — qualitative comparison\n" + run_table1())
-    sections.append("Fig. 13 — evaluated configurations\n" + run_fig13())
+    def timed(name: str, fn):
+        t0 = time.perf_counter()
+        out = fn()
+        wall_clock_s[name] = round(time.perf_counter() - t0, 4)
+        return out
 
-    micro_scales = tuple(int(s) for s in args.micro_scales.split(","))
-    for r in run_fig10(micro_scales, args.reps, progress=say).values():
-        sections.append(r.to_text())
-    sections.append(run_fig11(repetitions=args.reps).to_text())
+    def record(result) -> None:
+        experiments[result.experiment_id] = result.to_dict()
+        sections.append(result.to_text())
 
-    lab = TpcwLab(num_customers=args.scale, repetitions=args.reps)
-    sections.append(run_fig12(lab, progress=say).to_text())
-    sections.append(run_fig14(lab, progress=say).to_text())
-    sections.append(run_table2(lab, progress=say).to_text())
-    sections.append(run_table3(lab, progress=say).to_text())
+    if "table1" in selected:
+        sections.append("Table I — qualitative comparison\n"
+                        + timed("table1", run_table1))
+    if "fig13" in selected:
+        sections.append("Fig. 13 — evaluated configurations\n"
+                        + timed("fig13", run_fig13))
+    if "storage" in selected:
+        say(f"[storage] load + scan {args.storage_rows} rows")
+        record(timed("storage", lambda: run_storage_perf(
+            num_rows=args.storage_rows, repetitions=min(args.reps, 5))))
+    if "fig10" in selected:
+        micro_scales = tuple(int(s) for s in args.micro_scales.split(","))
+        fig10 = timed("fig10", lambda: run_fig10(
+            micro_scales, args.reps, progress=say))
+        for r in fig10.values():
+            record(r)
+    if "fig11" in selected:
+        record(timed("fig11", lambda: run_fig11(repetitions=args.reps)))
+
+    lab_needed = selected & {"fig12", "fig14", "table2", "table3"}
+    if lab_needed:
+        lab = TpcwLab(num_customers=args.scale, repetitions=args.reps)
+        runners = {
+            "fig12": run_fig12, "fig14": run_fig14,
+            "table2": run_table2, "table3": run_table3,
+        }
+        for name in ("fig12", "fig14", "table2", "table3"):
+            if name in selected:
+                record(timed(name, lambda r=runners[name]: r(lab, progress=say)))
 
     report = "\n\n".join(sections)
     print(report)
     if args.out:
         with open(args.out, "w") as f:
             f.write(report + "\n")
+    if args.emit_json:
+        payload = {
+            "generated_by": "python -m repro.bench "
+                            + " ".join(argv if argv is not None else sys.argv[1:]),
+            "config": {
+                "scale": args.scale,
+                "reps": args.reps,
+                "micro_scales": args.micro_scales,
+                "storage_rows": args.storage_rows,
+            },
+            "wall_clock_s": wall_clock_s,
+            "experiments": experiments,
+        }
+        if baseline is not None:
+            payload["baseline"] = baseline
+            payload["wall_clock_speedup_vs_baseline"] = _speedups(
+                baseline, experiments, wall_clock_s
+            )
+        with open(args.emit_json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
     return 0
+
+
+def _speedups(
+    baseline: dict, experiments: dict, wall_clock_s: dict
+) -> dict[str, float]:
+    """baseline wall-clock / current wall-clock, per experiment that
+    both runs measured. The storage phases use the noise-robust
+    best-of-reps series when both sides recorded it."""
+    out: dict[str, float] = {}
+    for name, now_s in wall_clock_s.items():
+        base_s = baseline.get("wall_clock_s", {}).get(name)
+        if base_s is not None and now_s:  # skip only unmeasured/zero denominators
+            out[name] = round(base_s / now_s, 2)
+    base = baseline.get("experiments", {}).get("StoragePerf", {})
+    cur = experiments.get("StoragePerf", {})
+    for label in ("Best wall-clock (s)", "Wall-clock (s)"):
+        base_series = base.get("series", {}).get(label, {})
+        cur_series = cur.get("series", {}).get(label, {})
+        if base_series and cur_series:
+            for phase, stat in base_series.items():
+                now = cur_series.get(phase)
+                if stat and now and now.get("mean"):
+                    out[f"storage_{phase}"] = round(stat["mean"] / now["mean"], 2)
+            break
+    return out
 
 
 if __name__ == "__main__":

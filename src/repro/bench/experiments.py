@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+import time
 from typing import Callable
 
 from repro.bench.harness import (
@@ -29,8 +31,78 @@ from repro.tpcw.microbench import (
     micro_schema,
     micro_workload,
 )
+from repro.hbase.ops import Put, Scan
 from repro.tpcw.queries import JOIN_QUERIES
 from repro.tpcw.writes import WRITE_STATEMENTS
+
+
+# ------------------------------------------------------------ storage perf
+def run_storage_perf(
+    num_rows: int = 50_000,
+    repetitions: int = 5,
+    value_bytes: int = 16,
+    seed: int = 20170904,
+) -> ExperimentResult:
+    """Wall-clock cost of the simulated HBase layer itself.
+
+    Loads ``num_rows`` shuffled-key rows into a single region with
+    ``put_batch`` (crossing one memstore flush at the default threshold)
+    and then streams a full-table scan. Both phases report *wall-clock*
+    seconds — the simulator's own execution cost, which is what the
+    LSM-engine work optimizes — alongside the simulated latency, which
+    must stay constant across engine rewrites.
+    """
+    result = ExperimentResult(
+        "StoragePerf",
+        f"HBase layer wall-clock: load + full scan of {num_rows} rows",
+        "phase",
+        unit="s (wall)",
+    )
+    result.x_values = ["load", "scan"]
+    wall = result.add_series("Wall-clock (s)")
+    best = result.add_series("Best wall-clock (s)")
+    virt = result.add_series("Simulated (ms)")
+    load_wall, scan_wall = [], []
+    load_virt, scan_virt = [], []
+    for rep in range(repetitions):
+        sim = Simulation(seed=seed + rep)
+        client = HBaseClient(HBaseCluster(sim))
+        table = client.create_table("perf")  # one region, default flush
+        keys = [b"%010d" % i for i in range(num_rows)]
+        random.Random(seed + rep).shuffle(keys)
+        payload = b"x" * value_bytes
+        puts = []
+        for key in keys:
+            p = Put(key)
+            p.add(b"cf", b"v", payload)
+            puts.append(p)
+
+        sw = sim.stopwatch()
+        t0 = time.perf_counter()
+        table.put_batch(puts)
+        load_wall.append(time.perf_counter() - t0)
+        load_virt.append(sw.stop())
+
+        sw = sim.stopwatch()
+        t0 = time.perf_counter()
+        scanned = sum(1 for _ in table.scan(Scan()))
+        scan_wall.append(time.perf_counter() - t0)
+        scan_virt.append(sw.stop())
+        if scanned != num_rows:  # pragma: no cover - correctness guard
+            raise AssertionError(f"scan returned {scanned} of {num_rows} rows")
+    wall.set("load", summarize(load_wall))
+    wall.set("scan", summarize(scan_wall))
+    # min across reps is the noise-robust wall-clock estimate (what a
+    # quiet machine would measure); speedup comparisons should use it
+    best.set("load", Stat(min(load_wall), 0.0, len(load_wall)))
+    best.set("scan", Stat(min(scan_wall), 0.0, len(scan_wall)))
+    virt.set("load", summarize(load_virt))
+    virt.set("scan", summarize(scan_virt))
+    result.note(
+        f"{num_rows} rows, {value_bytes}-byte values, shuffled keys, "
+        f"single region, {repetitions} repetitions"
+    )
+    return result
 
 
 # --------------------------------------------------------------------- Fig. 10

@@ -67,6 +67,28 @@ class ExperimentResult:
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form (for ``--emit-json`` trajectory files)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "unit": self.unit,
+            "x_values": [str(x) for x in self.x_values],
+            "series": {
+                s.label: {
+                    str(x): (
+                        None
+                        if stat is None
+                        else {"mean": stat.mean, "stderr": stat.stderr, "n": stat.n}
+                    )
+                    for x, stat in s.points.items()
+                }
+                for s in self.series
+            },
+            "notes": list(self.notes),
+        }
+
     # -- rendering --------------------------------------------------------------------
     def to_text(self) -> str:
         headers = [self.x_label] + [s.label for s in self.series]

@@ -89,8 +89,12 @@ class CostModel:
     sub-linear growth of Fig. 11. Not charged on the Synergy write path,
     which holds a warm connection."""
 
-    check_and_put_ms: float = 0.15
-    """Server-side atomic read-compare-write on the lock table row."""
+    check_and_put_ms: float = 0.096
+    """Server-side compare-and-swap logic on the lock table row, on top
+    of the separately charged read half (seek + row materialization,
+    0.05 + 0.004 ms — together the original 0.15 ms calibration, so the
+    Fig. 11 anchors are preserved now that ``check_and_put`` charges its
+    read like a ``get``)."""
 
     mark_row_ms: float = 0.01
     """Marking/unmarking one view row dirty (update procedure steps 3/5)."""

@@ -34,6 +34,19 @@ class Result:
         # (family, qualifier) -> list[(timestamp, value)] newest first
         self._cells: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
 
+    @classmethod
+    def from_sorted(
+        cls,
+        row: bytes,
+        cells: dict[tuple[bytes, bytes], list[tuple[int, bytes]]],
+    ) -> "Result":
+        """Adopt a merged cell dict whose version lists are already
+        newest-first (the streaming scanner's zero-copy constructor)."""
+        result = cls.__new__(cls)
+        result.row = row
+        result._cells = cells
+        return result
+
     def add(self, family: bytes, qualifier: bytes, timestamp: int, value: bytes) -> None:
         versions = self._cells.setdefault((family, qualifier), [])
         versions.append((timestamp, value))
@@ -71,10 +84,12 @@ class Result:
 
     @property
     def size_bytes(self) -> int:
+        base_row = len(self.row) + 8
         total = 0
         for (family, qualifier), versions in self._cells.items():
+            base = base_row + len(family) + len(qualifier)
             for _, value in versions:
-                total += len(self.row) + len(family) + len(qualifier) + 8 + len(value)
+                total += base + len(value)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -5,16 +5,22 @@ per addressed region, result bytes over the wire, and scanner batches
 (``Scan`` streams ``scan_batch_rows`` rows per ``next()`` round trip).
 Server-side work (seeks, per-row materialization, WAL syncs) is charged
 by the region server it lands on.
+
+Region locations are cached client-side (mirroring real HBase meta
+caching): point ops consult the last-hit region first and fall back to
+the table descriptor's binary search only on a range miss or when the
+descriptor's region layout version moved (split/drop/recovery).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Iterator
+from typing import Iterator
 
 from repro.hbase.cell import Result
 from repro.hbase.cluster import HBaseCluster
 from repro.hbase.ops import Delete, Get, Increment, Put, Scan
+from repro.hbase.region import Region
 from repro.sim.latency import LatencyCharger
 
 
@@ -26,10 +32,28 @@ class HTable:
         self.name = name
         self.desc = cluster.descriptor(name)
         self.charge = LatencyCharger(cluster.sim, "client")
+        self._cached_region: Region | None = None
+        self._cached_version = -1
+
+    # -- region-location cache --------------------------------------------------------
+    def _locate(self, row: bytes) -> Region:
+        """Resolve the region for ``row`` via the client-side location
+        cache; invalidated whenever the descriptor's layout version moves."""
+        region = self._cached_region
+        if (
+            region is not None
+            and self._cached_version == self.desc.version
+            and region.contains(row)
+        ):
+            return region
+        region = self.desc.region_for(row)
+        self._cached_region = region
+        self._cached_version = self.desc.version
+        return region
 
     # -- point ops --------------------------------------------------------------------
     def get(self, op: Get) -> Result | None:
-        region = self.desc.region_for(op.row)
+        region = self._locate(op.row)
         server = self.cluster.server_for(region)
         self.charge.rpc()
         server.charge.seek()
@@ -42,7 +66,7 @@ class HTable:
         return result
 
     def put(self, op: Put) -> None:
-        region = self.desc.region_for(op.row)
+        region = self._locate(op.row)
         server = self.cluster.server_for(region)
         self.charge.rpc()
         ts = self.cluster.next_timestamp()
@@ -50,23 +74,48 @@ class HTable:
 
     def put_batch(self, ops: list[Put]) -> None:
         """Buffered multi-put: one RPC per addressed region, WAL batched."""
-        by_region: dict[str, list[Put]] = {}
-        regions = {}
-        for op in ops:
-            region = self.desc.region_for(op.row)
-            regions[region.name] = region
-            by_region.setdefault(region.name, []).append(op)
-        for region_name, puts in by_region.items():
-            region = regions[region_name]
+        if not ops:
+            return
+        regions = self.desc.regions
+        if len(regions) == 1:
+            # single-region table: every row lands there by definition
+            grouped: list[tuple[Region, list[Put]]] = [(regions[0], ops)]
+        else:
+            # group by region in first-appearance order; consecutive
+            # puts usually hit the same region, so test bounds inline
+            groups: dict[int, tuple[Region, list[Put]]] = {}
+            cur_region: Region | None = None
+            cur_start: bytes = b""
+            cur_end: bytes | None = None
+            cur_append = None
+            for op in ops:
+                row = op.row
+                if (
+                    cur_append is None
+                    or row < cur_start
+                    or (cur_end is not None and row >= cur_end)
+                ):
+                    cur_region = self._locate(row)
+                    cur_start = cur_region.start_key
+                    cur_end = cur_region.end_key
+                    group = groups.get(id(cur_region))
+                    if group is None:
+                        cur_list: list[Put] = []
+                        groups[id(cur_region)] = (cur_region, cur_list)
+                    else:
+                        cur_list = group[1]
+                    cur_append = cur_list.append
+                cur_append(op)
+            grouped = list(groups.values())
+        for region, puts in grouped:
             server = self.cluster.server_for(region)
             self.charge.rpc()
             server.charge.wal_append()  # one group sync per region batch
-            for op in puts:
-                ts = self.cluster.next_timestamp()
-                server.apply_put(region, op.row, op.cells, ts, charge_wal=False)
+            first_ts = self.cluster.reserve_timestamps(len(puts))
+            server.apply_puts(region, puts, first_ts)
 
     def delete(self, op: Delete) -> None:
-        region = self.desc.region_for(op.row)
+        region = self._locate(op.row)
         server = self.cluster.server_for(region)
         self.charge.rpc()
         ts = self.cluster.next_timestamp()
@@ -74,7 +123,7 @@ class HTable:
 
     def increment(self, op: Increment) -> int:
         """Atomic read-add-write on an 8-byte big-endian counter."""
-        region = self.desc.region_for(op.row)
+        region = self._locate(op.row)
         server = self.cluster.server_for(region)
         self.charge.rpc()
         server.charge.seek()
@@ -104,11 +153,19 @@ class HTable:
     ) -> bool:
         """Atomically: if current value of (family, qualifier) == expected
         (None = column absent), apply ``put`` and return True."""
-        region = self.desc.region_for(row)
+        region = self._locate(row)
         server = self.cluster.server_for(region)
         self.charge.check_and_put()
+        # the read half of the RMW pays what a Get pays: a server-side
+        # seek plus, when the row exists, row materialization and the
+        # compared bytes over the wire
+        server.charge.seek()
         result = region.read_row(row, [(family, qualifier)])
-        current = result.value(family, qualifier) if result is not None else None
+        current = None
+        if result is not None:
+            server.charge.rows_read(1)
+            self.charge.transfer(result.size_bytes)
+            current = result.value(family, qualifier)
         if current != expected:
             return False
         ts = self.cluster.next_timestamp()
@@ -119,46 +176,57 @@ class HTable:
     def scan(self, op: Scan | None = None) -> Iterator[Result]:
         """Stream rows in key order across all overlapping regions.
 
-        Charges: per region one open RPC + seek; one RPC per
+        One streaming merged cursor per region (memstore + HFiles heap-
+        merged), with the requested column set pushed down into the
+        merge. Charges: per region one open RPC + seek; one RPC per
         ``scan_batch_rows`` rows transferred; server-side per-row read
-        work for every row *examined* (filtered rows still cost reads).
+        work for every row *examined* (filtered and deleted rows still
+        cost reads).
         """
         op = op or Scan()
         batch_size = self.cluster.config.cost.scan_batch_rows
         emitted = 0
+        wanted = frozenset(op.columns) if op.columns else None
+        scan_filter = op.filter
+        limit = op.limit
+        unlimited = limit is None
+        charge_rpc = self.charge.rpc
+        charge_transfer = self.charge.transfer
+        size_bytes_of = Result.size_bytes.fget  # skip descriptor per row
         for region in self.desc.regions_overlapping(op.start_row, op.stop_row or None):
             server = self.cluster.server_for(region)
-            self.charge.rpc()  # open scanner on this region
+            charge_rpc()  # open scanner on this region
             server.charge.seek()
+            row_read = server.charge.row_read
             batch_rows = 0
             batch_bytes = 0
             start = max(op.start_row, region.start_key)
-            for row in region.iter_keys(start, _min_stop(op.stop_row, region.end_key)):
-                result = region.read_row(
-                    row, op.columns, op.max_versions, op.time_range
-                )
-                server.charge.rows_read(1)
+            stop = _min_stop(op.stop_row, region.end_key)
+            for _, result in region.scan(
+                start, stop, wanted, op.max_versions, op.time_range
+            ):
+                row_read()
                 if result is None:
                     continue
-                if op.filter is not None and not op.filter.accept(result):
+                if scan_filter is not None and not scan_filter.accept(result):
                     continue
                 batch_rows += 1
-                batch_bytes += result.size_bytes
+                batch_bytes += size_bytes_of(result)
                 if batch_rows >= batch_size:
-                    self.charge.rpc()
-                    self.charge.transfer(batch_bytes)
+                    charge_rpc()
+                    charge_transfer(batch_bytes)
                     batch_rows = 0
                     batch_bytes = 0
                 emitted += 1
                 yield result
-                if op.limit is not None and emitted >= op.limit:
+                if not unlimited and emitted >= limit:
                     if batch_rows:
-                        self.charge.rpc()
-                        self.charge.transfer(batch_bytes)
+                        charge_rpc()
+                        charge_transfer(batch_bytes)
                     return
             if batch_rows:
-                self.charge.rpc()
-                self.charge.transfer(batch_bytes)
+                charge_rpc()
+                charge_transfer(batch_bytes)
 
     def scan_all(self, op: Scan | None = None) -> list[Result]:
         return list(self.scan(op))

@@ -8,6 +8,8 @@ fault-tolerance story the paper's HBase layer provides.
 
 from __future__ import annotations
 
+import bisect
+
 from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
 from repro.errors import TableExistsError, TableNotFoundError
 from repro.hbase.region import Region
@@ -16,7 +18,12 @@ from repro.sim.clock import Simulation
 
 
 class TableDescriptor:
-    """Table metadata: families, version limit, region layout."""
+    """Table metadata: families, version limit, region layout.
+
+    ``version`` is the region-layout generation: it moves whenever the
+    region list changes (recovery swap, drop), which is the signal the
+    client-side location caches key their invalidation on.
+    """
 
     def __init__(
         self,
@@ -29,10 +36,20 @@ class TableDescriptor:
         self.families = families
         self.max_versions = max_versions
         self.regions = regions  # sorted by start key
+        self.version = 0
+        self._starts = [r.start_key for r in regions]
+
+    def invalidate_locations(self) -> None:
+        """Rebuild the routing index after the region list changed."""
+        self._starts = [r.start_key for r in self.regions]
+        self.version += 1
 
     def region_for(self, row: bytes) -> Region:
-        # linear scan is fine: tables have a handful of regions
-        for region in self.regions:
+        # regions tile the key space and the first always starts at b"",
+        # so the candidate is the rightmost region starting at or before row
+        i = bisect.bisect_right(self._starts, row) - 1
+        if i >= 0:
+            region = self.regions[i]
             if region.contains(row):
                 return region
         raise TableNotFoundError(
@@ -74,6 +91,13 @@ class HBaseCluster:
     def next_timestamp(self) -> int:
         self._ts += 1
         return self._ts
+
+    def reserve_timestamps(self, n: int) -> int:
+        """Allocate a contiguous block of ``n`` timestamps (one oracle
+        round trip per batch instead of per mutation); returns the first."""
+        first = self._ts + 1
+        self._ts += n
+        return first
 
     @property
     def current_timestamp(self) -> int:
@@ -118,6 +142,8 @@ class HBaseCluster:
         for region in desc.regions:
             server = self._region_host.pop(region.name)
             server.unhost(region.name)
+        desc.regions = []
+        desc.invalidate_locations()  # stale client handles must re-resolve
 
     def descriptor(self, name: str) -> TableDescriptor:
         try:
@@ -174,6 +200,7 @@ class HBaseCluster:
             desc.regions = [
                 fresh if r.name == old.name else r for r in desc.regions
             ]
+            desc.invalidate_locations()  # client caches must not reuse `old`
             recovered += 1
         return recovered
 

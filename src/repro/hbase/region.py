@@ -7,7 +7,14 @@ from typing import Iterator
 
 from repro.errors import RegionUnavailableError
 from repro.hbase.cell import Result
-from repro.hbase.store import HFile, MemStore, RowEntry, merge_row
+from repro.hbase.store import (
+    CellKey,
+    HFile,
+    MemStore,
+    RegionScanner,
+    RowEntry,
+    merge_row,
+)
 
 
 class Region:
@@ -31,13 +38,10 @@ class Region:
         self.memstore = MemStore()
         self.hfiles: list[HFile] = []
         self.online = True
+        self.name = f"{table_name},{start_key.hex() or '-'}"
         self._approx_size_bytes = 0
 
     # -- bookkeeping -----------------------------------------------------------
-    @property
-    def name(self) -> str:
-        return f"{self.table_name},{self.start_key.hex() or '-'}"
-
     def _check_online(self) -> None:
         if not self.online:
             raise RegionUnavailableError(f"region {self.name} is offline")
@@ -60,18 +64,9 @@ class Region:
     ) -> None:
         """Apply one Put's cells; caller provides the server timestamp."""
         self._check_online()
-        entry = self.memstore.entry(row, create=True)
-        assert entry is not None
-        for family, qualifier, value, ts in cells:
-            stamp = ts if ts is not None else default_ts
-            entry.put_cell(family, qualifier, stamp, value)
-            self._approx_size_bytes += (
-                len(row)
-                + len(family)
-                + len(qualifier)
-                + len(value)
-                + self.kv_overhead_bytes
-            )
+        self._approx_size_bytes += self.memstore.apply_put(
+            row, cells, default_ts, len(row) + self.kv_overhead_bytes
+        )
 
     def delete_row(
         self,
@@ -112,19 +107,33 @@ class Region:
         sources = self._sources_for(row)
         if not sources:
             return None
-        visible = merge_row(
-            sources, max(max_versions, 1), time_range
-        )
+        wanted = frozenset(columns) if columns else None
+        visible = merge_row(sources, max(max_versions, 1), time_range, wanted)
         if visible is None:
             return None
-        result = Result(row)
-        wanted = set(columns) if columns else None
-        for (family, qualifier), versions in visible.items():
-            if wanted is not None and (family, qualifier) not in wanted:
-                continue
-            for ts, value in versions:
-                result.add(family, qualifier, ts, value)
-        return None if result.is_empty else result
+        return Result.from_sorted(row, visible)
+
+    def scan(
+        self,
+        start: bytes | None = None,
+        stop: bytes | None = None,
+        columns: frozenset[CellKey] | set[CellKey] | None = None,
+        max_versions: int = 1,
+        time_range: tuple[int, int] | None = None,
+    ) -> RegionScanner:
+        """Streaming merged cursor over ``[start, stop)`` within this
+        region's bounds; yields ``(row_key, Result | None)`` per distinct
+        row key examined (None = deleted/projected away)."""
+        self._check_online()
+        lo = self.start_key if start is None else max(start, self.start_key)
+        hi = self.end_key if stop is None else (
+            stop if self.end_key is None else min(stop, self.end_key)
+        )
+        # components are resolved from `owner` at iteration start (so a
+        # flush between creating and consuming the cursor is safe)
+        return RegionScanner(
+            [], lo, hi, columns, max_versions, time_range, owner=self
+        )
 
     def iter_keys(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
         """Merged, de-duplicated, sorted row keys across memstore + HFiles."""
@@ -139,14 +148,13 @@ class Region:
 
     # -- flush & compaction ------------------------------------------------------
     def flush(self) -> HFile | None:
-        """Freeze the memstore into a new HFile."""
+        """Freeze the memstore into a new HFile (zero-copy handoff)."""
         self._check_online()
         if len(self.memstore) == 0:
             return None
-        frozen = {row: entry for row, entry in self.memstore.items()}
-        hfile = HFile(frozen)
+        sorted_keys, entries = self.memstore.take_frozen()
+        hfile = HFile(entries, sorted_keys=sorted_keys)
         self.hfiles.append(hfile)
-        self.memstore.clear()
         return hfile
 
     def major_compact(self) -> None:
@@ -154,25 +162,25 @@ class Region:
         versions beyond ``max_versions``; recompute the exact size."""
         self._check_online()
         merged_entries: dict[bytes, RowEntry] = {}
+        sorted_keys: list[bytes] = []
         size = 0
-        for row in list(self.iter_keys(self.start_key, self.end_key)):
-            visible = merge_row(self._sources_for(row), self.max_versions)
-            if visible is None:
+        for row, result in self.scan(max_versions=self.max_versions):
+            if result is None:
                 continue
-            entry = RowEntry()
-            for (family, qualifier), versions in visible.items():
-                for ts, value in versions:
-                    entry.put_cell(family, qualifier, ts, value)
+            entry = RowEntry.from_sorted_cells(result._cells)
             merged_entries[row] = entry
+            sorted_keys.append(row)
             size += entry.size_bytes(row, self.kv_overhead_bytes)
         self.memstore.clear()
-        self.hfiles = [HFile(merged_entries)] if merged_entries else []
+        self.hfiles = (
+            [HFile(merged_entries, sorted_keys=sorted_keys)]
+            if merged_entries
+            else []
+        )
         self._approx_size_bytes = size
 
     def row_count(self) -> int:
-        """Number of visible rows (post-merge); O(n)."""
-        count = 0
-        for row in self.iter_keys(self.start_key, self.end_key):
-            if merge_row(self._sources_for(row), 1) is not None:
-                count += 1
-        return count
+        """Number of visible rows (post-merge); one streaming pass."""
+        return sum(
+            1 for _, result in self.scan(max_versions=1) if result is not None
+        )

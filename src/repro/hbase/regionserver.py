@@ -39,7 +39,8 @@ class RegionServer:
         ts: int,
         charge_wal: bool = True,
     ) -> None:
-        self._check_alive()
+        if not self.alive:
+            raise HBaseError(f"region server {self.name} is down")
         self.wal.append(WalEntry(region.name, "put", row, list(cells), ts))
         if charge_wal:
             self.charge.wal_append()
@@ -47,6 +48,78 @@ class RegionServer:
         self.charge.rows_written(1)
         if len(region.memstore) >= region.flush_threshold_rows:
             self.flush_region(region)
+
+    def apply_puts(
+        self,
+        region: Region,
+        puts,
+        first_ts: int,
+    ) -> None:
+        """Batched ``apply_put`` with WAL sync charged by the caller
+        (one group sync per region batch) and timestamps pre-reserved
+        as a contiguous block starting at ``first_ts``. Emits the same
+        WAL entries, per-row charges and flush checks as per-put
+        application, with the per-put lookup overhead hoisted out of
+        the loop."""
+        if not self.alive:
+            raise HBaseError(f"region server {self.name} is down")
+        region._check_online()  # single-threaded: cannot flip mid-batch
+        wal = self.wal
+        wal_buffer_append = wal.buffer_for(region.name).append
+        wal.total_appends += len(puts)  # accounted up front for the batch
+        region_name = region.name
+        memstore = region.memstore
+        memstore_put = memstore.apply_put
+        entries = memstore._entries  # flush-threshold check, C-level len
+        threshold = region.flush_threshold_rows
+        kv_overhead = region.kv_overhead_bytes
+        size_delta = 0
+        ts = first_ts - 1
+        # two copies of the loop, selected once per batch: the jittered
+        # variant must draw one RNG sample per row via row_written();
+        # the jitter-free variant inlines the counter/clock bump using
+        # the handles the charger itself vends (same numbers, no
+        # per-row method call). Keep the bodies in sync.
+        inline_charge = self.charge.row_written_inline()
+        if inline_charge is None:
+            row_written = self.charge.row_written
+            for op in puts:
+                ts += 1
+                row = op.row
+                cells = op.cells
+                wal_buffer_append(
+                    WalEntry(region_name, "put", row, list(cells), ts)
+                )
+                size_delta += memstore_put(row, cells, ts, len(row) + kv_overhead)
+                row_written()
+                if len(entries) >= threshold:
+                    region._approx_size_bytes += size_delta
+                    size_delta = 0
+                    # the flush re-arms the same MemStore object with
+                    # fresh containers and truncates this region's WAL
+                    # buffer: re-fetch both hoisted references
+                    self.flush_region(region)
+                    entries = memstore._entries
+                    wal_buffer_append = wal.buffer_for(region_name).append
+        else:
+            rows_written_counter, clock, write_row_ms = inline_charge
+            for op in puts:
+                ts += 1
+                row = op.row
+                cells = op.cells
+                wal_buffer_append(
+                    WalEntry(region_name, "put", row, list(cells), ts)
+                )
+                size_delta += memstore_put(row, cells, ts, len(row) + kv_overhead)
+                rows_written_counter.value += 1
+                clock._now_ms += write_row_ms
+                if len(entries) >= threshold:
+                    region._approx_size_bytes += size_delta
+                    size_delta = 0
+                    self.flush_region(region)
+                    entries = memstore._entries
+                    wal_buffer_append = wal.buffer_for(region_name).append
+        region._approx_size_bytes += size_delta
 
     def apply_delete(
         self,

@@ -1,75 +1,176 @@
-"""Region-internal storage: memstore and HFiles (LSM semantics).
+"""Region-internal storage: memstore, HFiles and the streaming scan engine.
 
 Both the mutable memstore and immutable HFiles share one row-entry
 representation; the region read path merges entries newest-to-oldest,
 honouring row/column tombstones, exactly as an LSM tree does. Major
 compaction folds everything into a single HFile, dropping tombstones
 and versions beyond ``max_versions``.
+
+Write-path invariants (amortized-O(1) puts):
+
+* ``RowEntry.put_cell`` appends and marks the entry dirty; per-column
+  version lists are sorted newest-first *lazily*, on first read through
+  the ``cells`` property. A stable sort keyed on descending timestamp
+  reproduces exactly the ordering the old sort-on-every-put maintained
+  (equal timestamps keep insertion order).
+* ``MemStore`` keeps only a dict while absorbing writes; its sorted key
+  list is (re)built lazily when a scan, flush or range read needs it.
+* A flush hands the memstore's entry dict and already-sorted key list
+  to the new :class:`HFile` wholesale — no copy, no re-sort — and the
+  memstore re-arms with fresh containers, so cursors snapshotted before
+  the flush keep reading the frozen generation safely.
+
+Read path: :class:`RegionScanner` k-way-merges one cursor per store
+component (memstore first, then HFiles newest flush first) with
+``heapq.merge``, grouping runs of equal row keys and merging versions
+incrementally. A scan is therefore a single pass over each component
+instead of one point-get per row. ``merge_row`` is the per-row merge
+used by both point reads and the scanner; its ``columns`` parameter is
+the column-pushdown contract — untouched column families cost nothing.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+import heapq
 from typing import Iterator
 
+from repro.errors import RegionUnavailableError
+from repro.hbase.cell import Result
 
-@dataclass
+CellKey = tuple[bytes, bytes]
+Versions = list[tuple[int, bytes]]
+
+
+def _neg_ts(tv: tuple[int, bytes]) -> int:
+    return -tv[0]
+
+
+_SHARED_EMPTY_TOMBSTONES: dict[CellKey, int] = {}
+"""Class-level default for entries that never saw a column delete —
+one RowEntry is built per freshly written row, so construction cost
+matters. ``delete_column`` copies-on-write before touching it."""
+
+
 class RowEntry:
     """Versions and tombstones for one row within one store component."""
 
-    cells: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = field(
-        default_factory=dict
-    )
+    # class-attribute defaults: a new entry allocates only its cell map;
+    # the write path shadows these with instance attributes on demand
+    _dirty = False
     row_tombstone_ts: int | None = None
-    col_tombstones: dict[tuple[bytes, bytes], int] = field(default_factory=dict)
+    col_tombstones: dict[CellKey, int] = _SHARED_EMPTY_TOMBSTONES
+
+    def __init__(self) -> None:
+        self._cells: dict[CellKey, Versions] = {}
+
+    @property
+    def cells(self) -> dict[CellKey, Versions]:
+        """Per-column version lists, newest first (sorted lazily)."""
+        if self._dirty:
+            for versions in self._cells.values():
+                versions.sort(key=_neg_ts)
+            self._dirty = False
+        return self._cells
+
+    @classmethod
+    def from_sorted_cells(cls, cells: dict[CellKey, Versions]) -> "RowEntry":
+        """Adopt already-newest-first version lists (compaction output)."""
+        entry = cls.__new__(cls)
+        entry._cells = cells
+        return entry
 
     def put_cell(self, family: bytes, qualifier: bytes, ts: int, value: bytes) -> None:
-        versions = self.cells.setdefault((family, qualifier), [])
-        versions.append((ts, value))
-        versions.sort(key=lambda tv: -tv[0])
+        versions = self._cells.get((family, qualifier))
+        if versions is None:
+            self._cells[(family, qualifier)] = [(ts, value)]
+        else:
+            versions.append((ts, value))
+            self._dirty = True
 
     def delete_row(self, ts: int) -> None:
         if self.row_tombstone_ts is None or ts > self.row_tombstone_ts:
             self.row_tombstone_ts = ts
 
     def delete_column(self, family: bytes, qualifier: bytes, ts: int) -> None:
+        if self.col_tombstones is _SHARED_EMPTY_TOMBSTONES:
+            self.col_tombstones = {}
         key = (family, qualifier)
         if key not in self.col_tombstones or ts > self.col_tombstones[key]:
             self.col_tombstones[key] = ts
 
     def size_bytes(self, row: bytes, kv_overhead: int) -> int:
+        row_len = len(row) + kv_overhead
         total = 0
-        for (family, qualifier), versions in self.cells.items():
+        for (family, qualifier), versions in self._cells.items():
+            base = row_len + len(family) + len(qualifier)
             for _, value in versions:
-                total += (
-                    len(row) + len(family) + len(qualifier) + len(value) + kv_overhead
-                )
+                total += base + len(value)
         return total
 
     @property
     def is_empty(self) -> bool:
         return (
-            not self.cells
+            not self._cells
             and self.row_tombstone_ts is None
             and not self.col_tombstones
         )
 
 
 class MemStore:
-    """Mutable sorted map row-key -> :class:`RowEntry`."""
+    """Mutable map row-key -> :class:`RowEntry`; key order built lazily."""
 
     def __init__(self) -> None:
         self._entries: dict[bytes, RowEntry] = {}
         self._sorted_keys: list[bytes] = []
+        self._sorted = True
 
     def entry(self, row: bytes, create: bool = False) -> RowEntry | None:
         e = self._entries.get(row)
         if e is None and create:
             e = RowEntry()
             self._entries[row] = e
-            bisect.insort(self._sorted_keys, row)
+            self._sorted = False
         return e
+
+    def apply_put(
+        self,
+        row: bytes,
+        cells: list[tuple[bytes, bytes, bytes, int | None]],
+        default_ts: int,
+        base_bytes: int,
+    ) -> int:
+        """Upsert + per-cell append fused into one call — the write
+        hot path (one method call per Put). Returns the approximate
+        byte delta; ``base_bytes`` is the row-key + KV-framing
+        overhead charged per cell."""
+        entries = self._entries
+        entry = entries.get(row)
+        if entry is None:
+            entry = RowEntry.__new__(RowEntry)  # skip __init__ dispatch
+            _cells = entry._cells = {}
+            entries[row] = entry
+            self._sorted = False
+        else:
+            _cells = entry._cells
+        size = 0
+        for family, qualifier, value, ts in cells:
+            stamp = ts if ts is not None else default_ts
+            key = (family, qualifier)
+            versions = _cells.get(key)
+            if versions is None:
+                _cells[key] = [(stamp, value)]
+            else:
+                versions.append((stamp, value))
+                entry._dirty = True
+            size += base_bytes + len(family) + len(qualifier) + len(value)
+        return size
+
+    def _ensure_sorted(self) -> list[bytes]:
+        if not self._sorted:
+            self._sorted_keys = sorted(self._entries)
+            self._sorted = True
+        return self._sorted_keys
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -78,21 +179,34 @@ class MemStore:
         return row in self._entries
 
     def keys_in_range(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
-        i = bisect.bisect_left(self._sorted_keys, start)
-        while i < len(self._sorted_keys):
-            k = self._sorted_keys[i]
-            if stop is not None and k >= stop:
-                return
-            yield k
-            i += 1
+        for key, _ in self.items_in_range(start, stop):
+            yield key
+
+    def items_in_range(
+        self, start: bytes, stop: bytes | None
+    ) -> Iterator[tuple[bytes, RowEntry]]:
+        return _range_cursor(self._ensure_sorted(), self._entries, start, stop)
+
+    def take_frozen(self) -> tuple[list[bytes], dict[bytes, RowEntry]]:
+        """Hand the current generation (sorted keys + entries) to a flush
+        and re-arm empty. Snapshots taken before the flush stay valid
+        because the old containers are never mutated again."""
+        keys = self._ensure_sorted()
+        entries = self._entries
+        self._entries = {}
+        self._sorted_keys = []
+        self._sorted = True
+        return keys, entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._sorted_keys.clear()
+        self._entries = {}
+        self._sorted_keys = []
+        self._sorted = True
 
     def items(self) -> Iterator[tuple[bytes, RowEntry]]:
-        for k in self._sorted_keys:
-            yield k, self._entries[k]
+        entries = self._entries
+        for k in self._ensure_sorted():
+            yield k, entries[k]
 
 
 class HFile:
@@ -100,11 +214,17 @@ class HFile:
 
     _seq = 0
 
-    def __init__(self, entries: dict[bytes, RowEntry]) -> None:
+    def __init__(
+        self,
+        entries: dict[bytes, RowEntry],
+        sorted_keys: list[bytes] | None = None,
+    ) -> None:
         HFile._seq += 1
         self.file_id = HFile._seq
         self._entries = entries
-        self._sorted_keys = sorted(entries)
+        self._sorted_keys = (
+            sorted(entries) if sorted_keys is None else sorted_keys
+        )
 
     def entry(self, row: bytes) -> RowEntry | None:
         return self._entries.get(row)
@@ -113,52 +233,104 @@ class HFile:
         return len(self._entries)
 
     def keys_in_range(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
-        i = bisect.bisect_left(self._sorted_keys, start)
-        while i < len(self._sorted_keys):
-            k = self._sorted_keys[i]
-            if stop is not None and k >= stop:
-                return
-            yield k
-            i += 1
+        for key, _ in self.items_in_range(start, stop):
+            yield key
+
+    def items_in_range(
+        self, start: bytes, stop: bytes | None
+    ) -> Iterator[tuple[bytes, RowEntry]]:
+        return _range_cursor(self._sorted_keys, self._entries, start, stop)
 
     def items(self) -> Iterator[tuple[bytes, RowEntry]]:
+        entries = self._entries
         for k in self._sorted_keys:
-            yield k, self._entries[k]
+            yield k, entries[k]
+
+
+def _range_cursor(
+    keys: list[bytes],
+    entries: dict[bytes, RowEntry],
+    start: bytes,
+    stop: bytes | None,
+) -> Iterator[tuple[bytes, RowEntry]]:
+    """C-level (zip+map) cursor over one component's ``[start, stop)``
+    slice. The key slice snapshots the component's current generation,
+    so concurrent writes/flushes never corrupt a running scan."""
+    lo = bisect.bisect_left(keys, start)
+    hi = len(keys) if stop is None else bisect.bisect_left(keys, stop, lo)
+    window = keys[lo:hi]
+    return zip(window, map(entries.__getitem__, window))
 
 
 def merge_row(
     sources: list[RowEntry],
     max_versions: int,
     time_range: tuple[int, int] | None = None,
-) -> dict[tuple[bytes, bytes], list[tuple[int, bytes]]] | None:
+    columns: frozenset[CellKey] | set[CellKey] | None = None,
+) -> dict[CellKey, Versions] | None:
     """Merge one row's entries (newest component first) into visible cells.
 
-    Returns None when the row has no visible cells (fully deleted/absent).
+    ``columns`` restricts the merge to the given (family, qualifier)
+    keys — the column-pushdown contract: unrequested columns are never
+    touched, so they cost nothing. Returns None when the row has no
+    visible cells (fully deleted/absent/projected away).
     """
+    if len(sources) == 1:
+        s = sources[0]
+        if (
+            s.row_tombstone_ts is None
+            and not s.col_tombstones
+            and time_range is None
+        ):
+            # fast path: no tombstones, no time filter — slice the
+            # (lazily sorted) newest-first version lists directly.
+            # RegionScanner inlines this logic per row; keep both in sync.
+            cells = s.cells
+            visible: dict[CellKey, Versions] = {}
+            if columns is None:
+                for key, versions in cells.items():
+                    if versions:
+                        visible[key] = versions[:max_versions]
+            else:
+                for key in columns:
+                    versions = cells.get(key)
+                    if versions:
+                        visible[key] = versions[:max_versions]
+            return visible or None
+
     row_ts = max(
         (s.row_tombstone_ts for s in sources if s.row_tombstone_ts is not None),
         default=None,
     )
-    col_ts: dict[tuple[bytes, bytes], int] = {}
+    col_ts: dict[CellKey, int] = {}
     for s in sources:
         for key, ts in s.col_tombstones.items():
             if key not in col_ts or ts > col_ts[key]:
                 col_ts[key] = ts
 
-    merged: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
+    merged: dict[CellKey, Versions] = {}
     for s in sources:
         for key, versions in s.cells.items():
-            merged.setdefault(key, []).extend(versions)
+            if columns is not None and key not in columns:
+                continue
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = list(versions)
+            else:
+                existing.extend(versions)
 
-    visible: dict[tuple[bytes, bytes], list[tuple[int, bytes]]] = {}
+    visible = {}
+    lo, hi = time_range if time_range is not None else (0, 0)
     for key, versions in merged.items():
-        kept = []
-        for ts, value in sorted(versions, key=lambda tv: -tv[0]):
+        kept: Versions = []
+        key_col_ts = col_ts.get(key)
+        versions.sort(key=_neg_ts)
+        for ts, value in versions:
             if row_ts is not None and ts <= row_ts:
                 continue
-            if key in col_ts and ts <= col_ts[key]:
+            if key_col_ts is not None and ts <= key_col_ts:
                 continue
-            if time_range is not None and not (time_range[0] <= ts < time_range[1]):
+            if time_range is not None and not (lo <= ts < hi):
                 continue
             kept.append((ts, value))
             if len(kept) >= max_versions:
@@ -166,3 +338,154 @@ def merge_row(
         if kept:
             visible[key] = kept
     return visible or None
+
+
+class _AlwaysOnline:
+    """Stand-in owner for scanners created without a region (tests)."""
+
+    online = True
+    name = "<unowned>"
+
+
+_ALWAYS_ONLINE = _AlwaysOnline()
+
+
+def _tagged(
+    stream: Iterator[tuple[bytes, RowEntry]], priority: int
+) -> Iterator[tuple[bytes, int, RowEntry]]:
+    """Tag a component cursor with its merge priority (newest = 0), so
+    ``heapq.merge`` orders ties by component age and never compares
+    :class:`RowEntry` objects."""
+    for key, entry in stream:
+        yield key, priority, entry
+
+
+class RegionScanner:
+    """Streaming merged cursor over one region's store components.
+
+    Yields ``(row_key, Result | None)`` for every distinct row key
+    examined in ``[start, stop)`` — ``None`` marks a row whose cells are
+    all deleted or projected away (callers still account the row as
+    examined, mirroring HBase's server-side read cost). When owned by a
+    region, the component list is resolved at iteration start and each
+    component's contents snapshot their current generation, so flushes
+    before or during iteration are both safe; the region's liveness is
+    re-checked per row, so a crash while a cursor is open raises
+    instead of yielding phantom rows.
+    """
+
+    __slots__ = ("_components", "_start", "_stop", "_max_versions",
+                 "_time_range", "_columns", "_owner")
+
+    def __init__(
+        self,
+        components: list[MemStore | HFile],
+        start: bytes,
+        stop: bytes | None,
+        columns: frozenset[CellKey] | set[CellKey] | None = None,
+        max_versions: int = 1,
+        time_range: tuple[int, int] | None = None,
+        owner=None,
+    ) -> None:
+        self._components = components  # newest first
+        self._start = start
+        self._stop = stop
+        self._columns = columns
+        self._max_versions = max(max_versions, 1)
+        self._time_range = time_range
+        self._owner = owner  # region whose .online gates each row
+
+    def __iter__(self) -> Iterator[tuple[bytes, Result | None]]:
+        max_versions = self._max_versions
+        time_range = self._time_range
+        columns = self._columns
+        if self._owner is not None:
+            owner = self._owner
+            # resolve components now, not at construction: a flush
+            # between the two would otherwise hide the re-armed
+            # memstore's rows behind a stale component list
+            candidates: list = [owner.memstore]
+            candidates.extend(reversed(owner.hfiles))
+        else:
+            owner = _ALWAYS_ONLINE
+            candidates = self._components
+        components = [c for c in candidates if len(c) > 0]
+        if not components:
+            return
+        if len(components) == 1:
+            # single-component fast path: no heap, no grouping, and the
+            # merge + Result construction inlined for untombstoned rows
+            # (same module, so the RowEntry/Result internals are fair
+            # game). Keep the visibility logic in sync with merge_row's
+            # single-source fast path — the property suite
+            # (tests/test_scanner_property.py) cross-checks both.
+            result_new = Result.__new__
+            from_sorted = Result.from_sorted
+            plain = time_range is None
+            for key, entry in components[0].items_in_range(self._start, self._stop):
+                if not owner.online:
+                    raise RegionUnavailableError(
+                        f"region {owner.name} went offline mid-scan"
+                    )
+                if plain and entry.row_tombstone_ts is None and not entry.col_tombstones:
+                    if entry._dirty:
+                        for versions in entry._cells.values():
+                            versions.sort(key=_neg_ts)
+                        entry._dirty = False
+                    cells = entry._cells
+                    visible = {}
+                    if columns is None:
+                        for ckey, versions in cells.items():
+                            if versions:
+                                visible[ckey] = versions[:max_versions]
+                    else:
+                        for ckey in columns:
+                            versions = cells.get(ckey)
+                            if versions:
+                                visible[ckey] = versions[:max_versions]
+                    if visible:
+                        result = result_new(Result)
+                        result.row = key
+                        result._cells = visible
+                        yield key, result
+                    else:
+                        yield key, None
+                else:
+                    visible = merge_row([entry], max_versions, time_range, columns)
+                    yield key, (
+                        None if visible is None else from_sorted(key, visible)
+                    )
+            return
+
+        streams = [
+            _tagged(component.items_in_range(self._start, self._stop), priority)
+            for priority, component in enumerate(components)
+        ]
+        merged = heapq.merge(*streams)  # orders by (key, priority)
+        try:
+            cur_key, _, entry = next(merged)
+        except StopIteration:
+            return
+        sources = [entry]
+        for key, _, entry in merged:
+            if key != cur_key:
+                if not owner.online:
+                    raise RegionUnavailableError(
+                        f"region {owner.name} went offline mid-scan"
+                    )
+                visible = merge_row(sources, max_versions, time_range, columns)
+                yield cur_key, (
+                    None if visible is None else Result.from_sorted(cur_key, visible)
+                )
+                cur_key = key
+                sources = [entry]
+            else:
+                sources.append(entry)
+        if not owner.online:
+            raise RegionUnavailableError(
+                f"region {owner.name} went offline mid-scan"
+            )
+        visible = merge_row(sources, max_versions, time_range, columns)
+        yield cur_key, (
+            None if visible is None else Result.from_sorted(cur_key, visible)
+        )

@@ -20,6 +20,12 @@ from repro.relational.schema import Index, Relation, Schema
 
 CF = b"0"
 
+DIRTY_QUALIFIER = b"_d"
+"""Dirty-marker column written on view rows during update maintenance."""
+
+ROW_MARKER_QUALIFIER = b"_0"
+"""Placeholder cell for key-only entries, so the row exists."""
+
 TABLE = "table"
 INDEX = "index"
 VIEW = "view"
@@ -91,8 +97,20 @@ class CatalogEntry:
             put.add(CF, attr.encode(), encode_value(self.dtypes[attr], value))
         if not self.value_attrs:
             # key-only entries still need one cell so the row exists
-            put.add(CF, b"_0", b"")
+            put.add(CF, ROW_MARKER_QUALIFIER, b"")
         return put
+
+    def projection(self) -> list[tuple[bytes, bytes]]:
+        """Every column a physical row of this entry can carry — the set
+        pushed down into Gets/Scans so the storage engine never merges
+        columns the decoder would not read (column-pushdown contract).
+        Includes the row marker (key-only entries) and the dirty marker
+        (view-maintenance bookkeeping), so results stay byte-identical
+        to an unprojected read."""
+        cols = [(CF, attr.encode()) for attr in self.value_attrs]
+        cols.append((CF, ROW_MARKER_QUALIFIER))
+        cols.append((CF, DIRTY_QUALIFIER))
+        return cols
 
     def result_to_row(self, result: Result) -> dict[str, Any]:
         """Decode an HBase Result back into a relational row."""

@@ -15,13 +15,12 @@ from repro.errors import DirtyReadRestart, PlanError
 from repro.hbase.bytes_util import prefix_stop
 from repro.hbase.filters import AndFilter, ColumnValueFilter, FilterBase
 from repro.hbase.ops import Get, Scan
-from repro.phoenix.catalog import CF, Catalog, CatalogEntry
+from repro.phoenix.catalog import CF, DIRTY_QUALIFIER, Catalog, CatalogEntry
 from repro.relational.datatypes import encode_value
 from repro.sql.ast import Expr, Literal, Param
 
 Row = dict[tuple[str, str], Any]
 
-DIRTY_QUALIFIER = b"_d"
 DIRTY_MARK = b"\x01"
 
 _PY_OPS: dict[str, Callable[[Any, Any], bool]] = {
@@ -139,13 +138,18 @@ class AccessSpec:
         prefix_values: list[Any],
         check_dirty: bool,
     ) -> Iterator[Row]:
-        """Stream decoded rows for the given prefix values."""
+        """Stream decoded rows for the given prefix values.
+
+        The entry's full column set is pushed down into the Get/Scan, so
+        the storage engine only merges the columns ``result_to_row``
+        will decode (plus the marker/dirty bookkeeping qualifiers)."""
         table = ctx.conn.client.table(self.entry.name)
         if None in prefix_values:
             return  # NULL never equi-matches anything
+        projection = self.entry.projection()
         if self.is_point():
             key = self.entry.encode_key_values(prefix_values)
-            result = table.get(Get(key))
+            result = table.get(Get(key, columns=projection))
             results = [] if result is None else [result]
         else:
             if prefix_values:
@@ -153,8 +157,12 @@ class AccessSpec:
                 scan = Scan(start_row=prefix, stop_row=prefix_stop(prefix))
             else:
                 scan = Scan()
+            scan.columns = projection
             scan.filter = self._server_filter(ctx)
             results = table.scan(scan)
+        lookup_projection = (
+            self.lookup_entry.projection() if self.lookup_entry is not None else None
+        )
         for result in results:
             if check_dirty and result.value(CF, DIRTY_QUALIFIER) == DIRTY_MARK:
                 raise DirtyReadRestart(self.entry.name)
@@ -164,7 +172,7 @@ class AccessSpec:
             if self.lookup_entry is not None:
                 base_table = ctx.conn.client.table(self.lookup_entry.name)
                 base_result = base_table.get(
-                    Get(self.lookup_entry.encode_key(raw))
+                    Get(self.lookup_entry.encode_key(raw), columns=lookup_projection)
                 )
                 if base_result is None:
                     continue

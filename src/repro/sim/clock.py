@@ -91,7 +91,8 @@ class Simulation:
         if self.jitter_fraction > 0.0 and delta_ms > 0.0:
             factor = 1.0 + self.jitter_fraction * float(self._rng.standard_normal())
             delta_ms *= max(factor, 0.1)
-        self.clock.advance(delta_ms)
+        # inlined clock.advance: charge() runs once per row on hot paths
+        self.clock._now_ms += delta_ms
         if what is not None:
             self.metrics.timer(what).record(delta_ms)
 

@@ -7,6 +7,10 @@ so call sites read like the mechanism they model::
     charger.rpc()                    # one round trip
     charger.rows_read(n)             # server-side row materialization
     charger.transfer(num_bytes)      # result bytes over the wire
+
+Counter objects and metric names are resolved once per charger — the
+read/write paths call these methods per row, so the per-call work is
+kept to a counter increment plus one ``Simulation.charge``.
 """
 
 from __future__ import annotations
@@ -21,42 +25,96 @@ class LatencyCharger:
         self.sim = sim
         self.component = component
         self.cost = sim.cost
+        # cost model is frozen: snapshot the per-row constants
+        self._read_row_ms = sim.cost.read_row_ms
+        self._write_row_ms = sim.cost.write_row_ms
+        metrics = sim.metrics
+        self._rpc_name = f"{component}.rpc"
+        self._transfer_name = f"{component}.transfer"
+        self._rpc_counter = metrics.counter(self._rpc_name)
+        self._bytes_counter = metrics.counter(f"{component}.bytes")
+        self._seek_counter = metrics.counter(f"{component}.seek")
+        self._rows_read_counter = metrics.counter(f"{component}.rows_read")
+        self._rows_written_counter = metrics.counter(f"{component}.rows_written")
+        self._wal_counter = metrics.counter(f"{component}.wal_append")
+        self._cap_counter = metrics.counter(f"{component}.check_and_put")
 
     # -- generic ------------------------------------------------------------------
     def rpc(self, count: int = 1) -> None:
-        self.sim.metrics.counter(f"{self.component}.rpc").inc(count)
-        self.sim.charge(self.cost.rpc_base_ms * count, f"{self.component}.rpc")
+        self._rpc_counter.inc(count)
+        self.sim.charge(self.cost.rpc_base_ms * count, self._rpc_name)
 
     def transfer(self, num_bytes: int) -> None:
         if num_bytes <= 0:
             return
         kib = num_bytes / 1024.0
-        self.sim.metrics.counter(f"{self.component}.bytes").inc(num_bytes)
-        self.sim.charge(self.cost.network_ms_per_kb * kib, f"{self.component}.transfer")
+        self._bytes_counter.inc(num_bytes)
+        self.sim.charge(self.cost.network_ms_per_kb * kib, self._transfer_name)
 
     # -- storage-side work -----------------------------------------------------------
+    # rows_read/rows_written run once per row on scan/load paths; when
+    # the simulation is jitter-free the charge is a plain clock bump
+    # (numerically identical to Simulation.charge, minus two calls)
     def seek(self, count: int = 1) -> None:
-        self.sim.metrics.counter(f"{self.component}.seek").inc(count)
+        self._seek_counter.inc(count)
         self.sim.charge(self.cost.seek_ms * count)
+
+    def row_read(self) -> None:
+        """``rows_read(1)`` specialized for the per-row scan loop."""
+        self._rows_read_counter.value += 1
+        sim = self.sim
+        if sim.jitter_fraction:
+            sim.charge(self._read_row_ms)
+        else:
+            sim.clock._now_ms += self._read_row_ms
 
     def rows_read(self, n: int) -> None:
         if n <= 0:
             return
-        self.sim.metrics.counter(f"{self.component}.rows_read").inc(n)
-        self.sim.charge(self.cost.read_row_ms * n)
+        self._rows_read_counter.value += n
+        sim = self.sim
+        if sim.jitter_fraction:
+            sim.charge(self._read_row_ms * n)
+        else:
+            sim.clock._now_ms += self._read_row_ms * n
+
+    def row_written(self) -> None:
+        """``rows_written(1)`` specialized for the per-put hot loop."""
+        self._rows_written_counter.value += 1
+        sim = self.sim
+        if sim.jitter_fraction:
+            sim.charge(self._write_row_ms)
+        else:
+            sim.clock._now_ms += self._write_row_ms
+
+    def row_written_inline(self):
+        """Handles for callers that inline the per-row write charge in a
+        tight loop: ``(counter, clock, delta_ms)`` — the caller performs
+        ``counter.value += 1; clock._now_ms += delta_ms`` per row, which
+        is exactly what :meth:`row_written` does. Returns None when the
+        simulation is jittered (each charge must draw its own RNG
+        sample, so callers must go through :meth:`row_written`). This
+        keeps the charging semantics owned here, not at the call site."""
+        if self.sim.jitter_fraction:
+            return None
+        return self._rows_written_counter, self.sim.clock, self._write_row_ms
 
     def rows_written(self, n: int) -> None:
         if n <= 0:
             return
-        self.sim.metrics.counter(f"{self.component}.rows_written").inc(n)
-        self.sim.charge(self.cost.write_row_ms * n)
+        self._rows_written_counter.value += n
+        sim = self.sim
+        if sim.jitter_fraction:
+            sim.charge(self._write_row_ms * n)
+        else:
+            sim.clock._now_ms += self._write_row_ms * n
 
     def wal_append(self, count: int = 1) -> None:
-        self.sim.metrics.counter(f"{self.component}.wal_append").inc(count)
+        self._wal_counter.inc(count)
         self.sim.charge(self.cost.wal_append_ms * count)
 
     def check_and_put(self, count: int = 1) -> None:
-        self.sim.metrics.counter(f"{self.component}.check_and_put").inc(count)
+        self._cap_counter.inc(count)
         self.sim.charge((self.cost.rpc_base_ms + self.cost.check_and_put_ms) * count)
 
     def version_checks(self, n_cells: int) -> None:

@@ -70,7 +70,10 @@ class ViewMaintainer:
             if any(v is None for v in key_values):
                 return None
             result = self.client.table(parent_entry.name).get(
-                Get(parent_entry.encode_key_values(key_values))
+                Get(
+                    parent_entry.encode_key_values(key_values),
+                    columns=parent_entry.projection(),
+                )
             )
             if result is None:
                 return None
@@ -151,7 +154,9 @@ class ViewMaintainer:
             indexes = self.view_index_entries(view)
             old_row: dict[str, Any] | None = None
             if indexes:
-                result = self.client.table(entry.name).get(Get(view_key))
+                result = self.client.table(entry.name).get(
+                    Get(view_key, columns=entry.projection())
+                )
                 if result is not None:
                     old_row = entry.result_to_row(result)
             self.client.table(entry.name).delete(HDelete(view_key))
@@ -185,7 +190,7 @@ class ViewMaintainer:
                 for a in pk
                 if a not in entry.key_attrs
             ]
-            scan = Scan()
+            scan = Scan(columns=entry.projection())
             if len(filters) == 1:
                 scan.filter = filters[0]
             elif filters:
@@ -202,7 +207,10 @@ class ViewMaintainer:
             access is entry and len(access.key_attrs) == len(pk)
         ):
             result = self.client.table(access.name).get(
-                Get(access.encode_key_values(prefix_values))
+                Get(
+                    access.encode_key_values(prefix_values),
+                    columns=access.projection(),
+                )
             )
             rows = [] if result is None else [access.result_to_row(result)]
         else:
@@ -210,15 +218,20 @@ class ViewMaintainer:
             rows = [
                 access.result_to_row(r)
                 for r in self.client.table(access.name).scan(
-                    Scan(start_row=prefix, stop_row=prefix_stop(prefix))
+                    Scan(
+                        start_row=prefix,
+                        stop_row=prefix_stop(prefix),
+                        columns=access.projection(),
+                    )
                 )
             ]
         if access is not entry and set(access.attrs) != set(entry.attrs):
             # key-only maintenance index: fetch the full rows from the view
             full_rows = []
+            projection = entry.projection()
             for row in rows:
                 result = self.client.table(entry.name).get(
-                    Get(entry.encode_key(row))
+                    Get(entry.encode_key(row), columns=projection)
                 )
                 if result is not None:
                     full_rows.append(entry.result_to_row(result))

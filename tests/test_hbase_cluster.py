@@ -232,6 +232,67 @@ class TestFailureRecovery:
         assert table.get(Get(b"b")).value(CF, b"v") == b"in-wal"
 
 
+class TestRegionLocationCache:
+    def test_point_ops_reuse_cached_region(self, cluster, client, table):
+        put(table, b"a", v=b"1")
+        assert table._cached_region is cluster.descriptor("t").region_for(b"a")
+        # a hit must not consult the descriptor at all
+        calls = []
+        original = table.desc.region_for
+        table.desc.region_for = lambda row: calls.append(row) or original(row)
+        put(table, b"b", v=b"2")  # same region as b"a" (split at b"m")
+        assert calls == []
+        table.get(Get(b"z"))  # other region: miss, one meta lookup
+        assert calls == [b"z"]
+        table.desc.region_for = original
+
+    def test_cache_invalidated_by_recovery(self, cluster, client, table):
+        put(table, b"a", v=b"1")
+        stale = table._cached_region
+        server = cluster.server_for(stale)
+        server.crash()
+        cluster.recover_server(server)
+        put(table, b"a", v=b"2")  # must re-resolve, not use the dead region
+        assert table._cached_region is not stale
+        assert table.get(Get(b"a")).value(CF, b"v") == b"2"
+
+    def test_descriptor_version_moves_on_layout_change(self, cluster, client, table):
+        desc = cluster.descriptor("t")
+        v0 = desc.version
+        region = desc.region_for(b"a")
+        server = cluster.server_for(region)
+        server.crash()
+        cluster.recover_server(server)
+        assert desc.version > v0
+
+
+class TestCheckAndPutCharging:
+    def test_rmw_read_charges_seek_and_transfer(self, sim, client, table):
+        put(table, b"lk", l=b"\x01")
+        counters = sim.metrics.counters
+        seeks_before = sum(
+            v for k, v in counters().items() if k.endswith(".seek")
+        )
+        bytes_before = counters().get("client.bytes", 0)
+        p = Put(b"lk")
+        p.add(CF, b"l", b"\x02")
+        assert table.check_and_put(b"lk", CF, b"l", b"\x01", p) is True
+        seeks_after = sum(
+            v for k, v in counters().items() if k.endswith(".seek")
+        )
+        assert seeks_after == seeks_before + 1  # the read half seeks
+        assert counters()["client.bytes"] > bytes_before  # compared bytes
+
+    def test_missing_row_charges_no_transfer(self, sim, client, table):
+        bytes_before = sim.metrics.counters().get("client.bytes", 0)
+        p = Put(b"absent")
+        p.add(CF, b"l", b"\x01")
+        assert table.check_and_put(b"absent", CF, b"l", None, p) is True
+        # the read found nothing, so no result bytes crossed the wire
+        # (the successful put itself transfers nothing back)
+        assert sim.metrics.counters().get("client.bytes", 0) == bytes_before
+
+
 class TestCostCharging:
     def test_get_charges_rpc(self, sim, client, table):
         before = sim.clock.now_ms
