@@ -9,7 +9,11 @@ metric). ``--baseline-json PATH`` merges a previously emitted file in
 as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
-storage``) — handy for quick perf checks.
+storage, concurrency``) — handy for quick perf checks.
+
+``--only concurrency --emit-json`` emits a fully deterministic
+trajectory (virtual-time metrics only, no wall-clock entries): two runs
+with the same seed produce byte-identical JSON.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import sys
 import time
 
 from repro.bench.experiments import (
+    run_concurrency,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -34,7 +39,7 @@ from repro.bench.tpcw_lab import TpcwLab
 
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
-    "table2", "table3",
+    "table2", "table3", "concurrency",
 )
 
 
@@ -51,6 +56,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="comma-separated micro-benchmark scales")
     parser.add_argument("--storage-rows", type=int, default=50_000,
                         help="rows for the storage-layer perf experiment")
+    parser.add_argument("--clients", type=str, default="1,4,16,64",
+                        help="comma-separated client counts for the "
+                             "concurrency experiment")
+    parser.add_argument("--concurrency-txns", type=int, default=8,
+                        help="transactions per virtual client")
+    parser.add_argument("--concurrency-scale", type=int, default=40,
+                        help="TPC-W customers for the concurrency experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -117,6 +129,20 @@ def main(argv: list[str] | None = None) -> int:
             record(r)
     if "fig11" in selected:
         record(timed("fig11", lambda: run_fig11(repetitions=args.reps)))
+    if "concurrency" in selected:
+        # deliberately NOT wall-clock-timed: the concurrency trajectory
+        # must be byte-identical across runs with the same seed, and the
+        # experiment itself reports only virtual-time metrics
+        client_counts = tuple(
+            int(s) for s in args.clients.split(",") if s.strip() and int(s) > 0
+        )
+        for r in run_concurrency(
+            client_counts,
+            txns_per_client=args.concurrency_txns,
+            num_customers=args.concurrency_scale,
+            progress=say,
+        ).values():
+            record(r)
 
     lab_needed = selected & {"fig12", "fig14", "table2", "table3"}
     if lab_needed:
@@ -136,8 +162,13 @@ def main(argv: list[str] | None = None) -> int:
             f.write(report + "\n")
     if args.emit_json:
         payload = {
-            "generated_by": "python -m repro.bench "
-                            + " ".join(argv if argv is not None else sys.argv[1:]),
+            # the output path is stripped so two runs of the same
+            # experiment emit byte-identical files wherever they land
+            "generated_by": "python -m repro.bench " + " ".join(
+                _without_output_paths(
+                    argv if argv is not None else sys.argv[1:]
+                )
+            ),
             "config": {
                 "scale": args.scale,
                 "reps": args.reps,
@@ -156,6 +187,22 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, f, indent=2, sort_keys=True)
             f.write("\n")
     return 0
+
+
+def _without_output_paths(argv: list[str]) -> list[str]:
+    out: list[str] = []
+    skip = False
+    for arg in argv:
+        if skip:
+            skip = False
+            continue
+        if arg in ("--emit-json", "--out"):
+            skip = True
+            continue
+        if arg.startswith(("--emit-json=", "--out=")):
+            continue
+        out.append(arg)
+    return out
 
 
 def _speedups(

@@ -73,6 +73,22 @@ class LockTimeoutError(TransactionError):
     """A hierarchical lock could not be acquired within the timeout."""
 
 
+class LockWaitRequired(TransactionError):
+    """Cooperative-scheduling signal: the requested hierarchical lock is
+    held by another virtual client at the requesting client's current
+    virtual time. The transaction runner charges the wait (up to
+    ``wait_until_ms``), yields to the scheduler, and retries — the
+    multi-client analogue of blocking on the lock. Never raised outside
+    a scheduled run (``sim.concurrency is None``)."""
+
+    def __init__(self, lock_key, wait_until_ms: float) -> None:
+        self.lock_key = lock_key
+        self.wait_until_ms = wait_until_ms
+        super().__init__(
+            f"lock {lock_key!r} is held until t={wait_until_ms:.3f}ms"
+        )
+
+
 class DirtyReadRestart(ReproError):
     """Internal signal: a scan observed a marked (in-flight) row.
 

@@ -48,6 +48,10 @@ class TephraServer:
         """change-set key -> tx id of latest committed writer."""
         self.commit_count = 0
         self.abort_count = 0
+        self.conflict_count = 0
+        """Commits rejected by the optimistic check (a subset of
+        ``abort_count``); under a scheduled multi-client run these are
+        *real* conflicts between overlapping client transactions."""
 
     # -- lifecycle -----------------------------------------------------------------
     def begin(self, read_only: bool = False) -> MvccTransaction:
@@ -83,6 +87,10 @@ class TephraServer:
         if tx.change_set:
             self.sim.charge(self.sim.cost.mvcc_commit_ms, "mvcc.commit")
             if not self.can_commit(tx):
+                self.conflict_count += 1
+                ctx = self.sim.concurrency
+                if ctx is not None:
+                    ctx.conflict_abort_count += 1
                 self.abort(tx)
                 raise TransactionConflictError(
                     f"tx {tx.tx_id}: write-write conflict detected at commit"

@@ -6,12 +6,26 @@ Everything latency-related in the simulated cluster flows through a
 milliseconds for the work they do (RPCs, rows scanned, bytes moved);
 experiments measure elapsed virtual time, which plays the role of the
 paper's measured response time.
+
+Multi-client runs go through the
+:class:`~repro.sim.scheduler.DeterministicScheduler`: N virtual clients
+with their own clocks, cooperatively interleaved by smallest virtual
+timestamp (see ``docs/CONCURRENCY.md``).
 """
 
 from repro.sim.clock import SimClock, Simulation, Stopwatch
 from repro.sim.latency import LatencyCharger
 from repro.sim.metrics import Counter, MetricsRegistry, Timer
 from repro.sim.rng import derive_rng
+from repro.sim.scheduler import (
+    ClientStats,
+    ConcurrencyContext,
+    DeterministicScheduler,
+    SchedulerReport,
+    VirtualClient,
+    percentile,
+    run_transaction,
+)
 
 __all__ = [
     "SimClock",
@@ -22,4 +36,11 @@ __all__ = [
     "MetricsRegistry",
     "Timer",
     "derive_rng",
+    "ClientStats",
+    "ConcurrencyContext",
+    "DeterministicScheduler",
+    "SchedulerReport",
+    "VirtualClient",
+    "percentile",
+    "run_transaction",
 ]

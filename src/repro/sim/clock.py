@@ -68,6 +68,13 @@ class Simulation:
     ``jitter_fraction`` > 0 makes every charge multiplicatively noisy
     (seeded, reproducible), which is how repeated experiment runs get a
     realistic non-zero standard error.
+
+    ``concurrency`` is None in ordinary single-client operation. While a
+    :class:`~repro.sim.scheduler.DeterministicScheduler` drives virtual
+    clients it installs a ``ConcurrencyContext`` here and swaps ``clock``
+    to the running client's clock per segment; engine layers consult
+    ``concurrency`` for contention (lock hold intervals, serial
+    resources) and behave exactly as before when it is None.
     """
 
     def __init__(
@@ -81,6 +88,7 @@ class Simulation:
         self.metrics = MetricsRegistry()
         self.seed = seed
         self.jitter_fraction = float(jitter_fraction)
+        self.concurrency = None  # ConcurrencyContext during scheduled runs
         self._rng = derive_rng(seed, "simulation-jitter")
 
     # -- charging ---------------------------------------------------------------

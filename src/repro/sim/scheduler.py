@@ -1,0 +1,351 @@
+"""Deterministic cooperative multi-client scheduler.
+
+N virtual clients run transactions as generator-based coroutines, with
+no threads. Each client owns its own :class:`SimClock`; while a client
+coroutine executes one segment (the code between two ``yield``
+statements), the shared :class:`Simulation`'s clock is *swapped* to the
+client's clock, so every cost charged anywhere in the engine lands on
+the running client's timeline. The scheduler always resumes the
+runnable client with the smallest virtual timestamp (ties broken by
+client id), which makes every run fully reproducible from a seed and
+gives conservative discrete-event semantics: when a client executes a
+segment starting at virtual time t, every other client's clock is
+already >= t, so no later-scheduled action can causally precede it.
+
+Yield-point contract
+--------------------
+A client program is a generator. It must ``yield`` whenever virtual
+time may pass — before each statement, and after each wait it charges —
+so that the scheduler can re-evaluate which client is earliest. All
+engine work between two yields forms one *cost-charge segment* billed
+to the yielding client. Engine calls must complete within a segment
+(they never suspend mid-call); contention between segments that overlap
+in virtual time is mediated through the :class:`ConcurrencyContext`:
+
+* hierarchical locks (``synergy.locks``) record their holds; an
+  acquire of a lock another client's recorded hold has not yet
+  released raises :class:`~repro.errors.LockWaitRequired` *before any
+  lock-table state changes*, and :func:`run_transaction` charges the
+  wait, yields, and retries the statement (blocking-and-retry). The
+  blocking is conservative first-come-first-served in *execution*
+  order: once a hold is recorded, later requests wait for its release
+  even if their virtual clock is behind the acquisition time, because
+  the owner's store mutations have already happened.
+* serial resources (VoltDB's single-threaded partition executor) delay
+  an operation that starts while the resource is busy until the
+  resource frees up in virtual time.
+* MVCC transactions genuinely overlap — begins and commits from
+  different clients interleave — so Tephra's optimistic check detects
+  real write-write conflicts; :func:`run_transaction` aborts, backs
+  off, and retries the whole transaction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.errors import LockWaitRequired, TransactionConflictError
+from repro.sim.clock import SimClock, Simulation
+
+
+@dataclass
+class LockHold:
+    """One recorded hold of a hierarchical lock (open-ended until the
+    owner releases it)."""
+
+    owner: int
+    released_at: float | None = None
+
+
+@dataclass
+class ClientStats:
+    """Per-client outcome counters and response times."""
+
+    committed: int = 0
+    aborted: int = 0
+    failed: int = 0
+    lock_waits: int = 0
+    serial_waits: int = 0
+    response_times: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "failed": self.failed,
+            "lock_waits": self.lock_waits,
+            "serial_waits": self.serial_waits,
+            "response_times": list(self.response_times),
+        }
+
+
+class VirtualClient:
+    """One simulated client: its own clock, coroutine and stats."""
+
+    def __init__(self, client_id: int, name: str, program) -> None:
+        self.client_id = client_id
+        self.name = name
+        self.program = program
+        self.clock = SimClock()
+        self.stats = ClientStats()
+        self.gen: Generator | None = None
+        self.done = False
+
+    @property
+    def now_ms(self) -> float:
+        return self.clock.now_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClient({self.name}, now={self.clock.now_ms:.3f}ms)"
+
+
+class ConcurrencyContext:
+    """Shared contention state installed on a Simulation while a
+    scheduler drives clients. Engine layers consult
+    ``sim.concurrency`` and fall back to single-client behavior when it
+    is None — which keeps every existing single-client code path (and
+    its simulated latency) bit-identical."""
+
+    def __init__(self) -> None:
+        self.active: VirtualClient | None = None
+        self._clients_by_id: dict[int, VirtualClient] = {}
+        self._lock_holds: dict[Any, LockHold] = {}
+        self._serial_busy_until: dict[Any, float] = {}
+        self.lock_wait_count = 0
+        self.serial_wait_count = 0
+        self.conflict_abort_count = 0
+
+    # -- hierarchical locks ---------------------------------------------------------
+    def lock_check(self, key: Any, now_ms: float) -> None:
+        """Raise :class:`LockWaitRequired` when another client's
+        recorded hold of ``key`` is not yet released at ``now_ms``.
+        Conservative FCFS in execution order: the owner's store
+        mutations have already happened, so a later request must wait
+        for the release even if its clock is behind the acquisition."""
+        hold = self._lock_holds.get(key)
+        if hold is None or self.active is None:
+            return
+        if hold.owner == self.active.client_id:
+            return
+        released = hold.released_at
+        if released is None:
+            # the owner still holds the lock across a yield: the earliest
+            # it can possibly release is its current clock position
+            released = max(now_ms, self._owner_clock(hold.owner)) + 1e-6
+        if now_ms < released:
+            self.lock_wait_count += 1
+            self.active.stats.lock_waits += 1
+            raise LockWaitRequired(key, wait_until_ms=released)
+
+    def lock_record(self, key: Any) -> None:
+        """Record a successful acquisition (hold is open-ended until
+        :meth:`lock_release`)."""
+        if self.active is None:
+            return
+        self._lock_holds[key] = LockHold(self.active.client_id)
+
+    def lock_release(self, key: Any, now_ms: float) -> None:
+        hold = self._lock_holds.get(key)
+        if (
+            hold is not None
+            and self.active is not None
+            and hold.owner == self.active.client_id
+        ):
+            hold.released_at = now_ms
+
+    def _owner_clock(self, owner_id: int) -> float:
+        client = self._clients_by_id.get(owner_id)
+        return client.clock.now_ms if client is not None else 0.0
+
+    # -- serial resources (single-threaded executors) -------------------------------
+    def serial_delay_ms(self, resources: Iterable[Any], now_ms: float) -> float:
+        """Virtual wait before an operation starting at ``now_ms`` may
+        begin on ALL of the serially executed ``resources`` (e.g. the
+        partition executor sites a VoltDB procedure occupies). Counts at
+        most one wait event per delayed operation."""
+        delay = 0.0
+        for resource in resources:
+            busy_until = self._serial_busy_until.get(resource, 0.0)
+            if busy_until > now_ms:
+                delay = max(delay, busy_until - now_ms)
+        if delay > 0:
+            self.serial_wait_count += 1
+            if self.active is not None:
+                self.active.stats.serial_waits += 1
+        return delay
+
+    def serial_occupy(self, resources: Iterable[Any], until_ms: float) -> None:
+        for resource in resources:
+            current = self._serial_busy_until.get(resource, 0.0)
+            if until_ms > current:
+                self._serial_busy_until[resource] = until_ms
+
+
+@dataclass
+class SchedulerReport:
+    """Outcome of one scheduled run (all values are deterministic)."""
+
+    makespan_ms: float
+    steps: int
+    clients: dict[str, dict[str, Any]]
+    lock_wait_count: int
+    serial_wait_count: int
+    conflict_abort_count: int
+
+    @property
+    def committed(self) -> int:
+        return sum(c["committed"] for c in self.clients.values())
+
+    @property
+    def aborted(self) -> int:
+        return sum(c["aborted"] for c in self.clients.values())
+
+    @property
+    def response_times(self) -> list[float]:
+        out: list[float] = []
+        for c in self.clients.values():
+            out.extend(c["response_times"])
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "makespan_ms": self.makespan_ms,
+            "steps": self.steps,
+            "lock_wait_count": self.lock_wait_count,
+            "serial_wait_count": self.serial_wait_count,
+            "conflict_abort_count": self.conflict_abort_count,
+            "clients": self.clients,
+        }
+
+
+class DeterministicScheduler:
+    """Min-virtual-timestamp cooperative scheduler over one Simulation."""
+
+    def __init__(self, sim: Simulation, max_steps: int = 10_000_000) -> None:
+        self.sim = sim
+        self.max_steps = max_steps
+        self.clients: list[VirtualClient] = []
+        self.trace: list[tuple[int, float]] = []
+        """(client_id, clock at resume) per step — a deterministic
+        fingerprint of the interleaving, used by reproducibility tests."""
+
+    def add_client(
+        self, name: str, program: Callable[[VirtualClient], Generator]
+    ) -> VirtualClient:
+        """Register a client. ``program(client)`` must return a
+        generator that yields at every cost-charge segment boundary."""
+        client = VirtualClient(len(self.clients), name, program)
+        self.clients.append(client)
+        return client
+
+    def run(self) -> SchedulerReport:
+        if self.sim.concurrency is not None:
+            raise RuntimeError("a scheduler is already driving this simulation")
+        ctx = ConcurrencyContext()
+        ctx._clients_by_id = {c.client_id: c for c in self.clients}
+        self.sim.concurrency = ctx
+        master_clock = self.sim.clock
+        steps = 0
+        for client in self.clients:
+            client.gen = client.program(client)
+        try:
+            while True:
+                runnable = [c for c in self.clients if not c.done]
+                if not runnable:
+                    break
+                client = min(
+                    runnable, key=lambda c: (c.clock.now_ms, c.client_id)
+                )
+                self.trace.append((client.client_id, client.clock.now_ms))
+                ctx.active = client
+                self.sim.clock = client.clock
+                try:
+                    next(client.gen)
+                except StopIteration:
+                    client.done = True
+                finally:
+                    ctx.active = None
+                steps += 1
+                if steps > self.max_steps:
+                    raise RuntimeError(
+                        f"scheduler exceeded {self.max_steps} steps "
+                        "(livelocked client program?)"
+                    )
+        finally:
+            self.sim.clock = master_clock
+            self.sim.concurrency = None
+        makespan = max((c.clock.now_ms for c in self.clients), default=0.0)
+        if makespan > master_clock.now_ms:
+            master_clock.advance(makespan - master_clock.now_ms)
+        return SchedulerReport(
+            makespan_ms=makespan,
+            steps=steps,
+            clients={c.name: c.stats.as_dict() for c in self.clients},
+            lock_wait_count=ctx.lock_wait_count,
+            serial_wait_count=ctx.serial_wait_count,
+            conflict_abort_count=ctx.conflict_abort_count,
+        )
+
+
+def run_transaction(
+    client: VirtualClient,
+    session,
+    statements: Sequence[tuple[str, tuple]],
+    max_attempts: int = 16,
+    abort_backoff_ms: float = 2.0,
+    on_commit: Callable[[], None] | None = None,
+) -> Generator[str, None, bool]:
+    """Drive one transaction through a system session, cooperatively.
+
+    ``yield from`` this inside a client program. It executes the
+    statements in order, yielding before each one and at every wait
+    point; blocks-and-retries the current statement on
+    :class:`LockWaitRequired`, and aborts/backs-off/retries the whole
+    transaction on :class:`TransactionConflictError`. Returns True when
+    the transaction committed; after ``max_attempts`` aborts it gives up
+    and counts the transaction as failed.
+    """
+    started_at = client.clock.now_ms
+    for attempt in range(1, max_attempts + 1):
+        session.begin()
+        try:
+            for sql, params in statements:
+                while True:
+                    yield "op"
+                    try:
+                        session.execute(sql, params)
+                        break
+                    except LockWaitRequired as wait:
+                        wait_ms = wait.wait_until_ms - client.clock.now_ms
+                        if wait_ms > 0:
+                            client.clock.advance(wait_ms)
+                        yield "lock-wait"
+            yield "commit"
+            session.commit()
+        except TransactionConflictError:
+            client.stats.aborted += 1
+            session.abort()
+            client.clock.advance(abort_backoff_ms * attempt)
+            yield "abort"
+            continue
+        except BaseException:
+            session.abort()
+            raise
+        client.stats.committed += 1
+        client.stats.response_times.append(client.clock.now_ms - started_at)
+        if on_commit is not None:
+            on_commit()
+        return True
+    client.stats.failed += 1
+    return False
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a sample set."""
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]

@@ -60,16 +60,34 @@ class LockManager:
         table.put(put)
 
     def acquire(self, root: str, key_values: Sequence[Any]) -> bytes:
-        """Grab the root-row lock; returns the lock-table row key."""
+        """Grab the root-row lock; returns the lock-table row key.
+
+        Under a multi-client scheduled run the acquisition is also
+        checked against the other virtual clients' recorded holds: if
+        another client's hold is not yet released,
+        :class:`~repro.errors.LockWaitRequired` is raised *before* any
+        lock-table state changes, and the transaction runner blocks
+        (charges the wait until the release point) and retries —
+        conservative FCFS in execution order, since the holder's store
+        mutations have already happened.
+        """
         table = self.client.table(lock_table_name(root))
         row = self._encode(root, key_values)
+        sim = self.client.cluster.sim
+        ctx = sim.concurrency
+        if ctx is not None:
+            ctx.lock_check((root, row), sim.clock.now_ms)
         put = Put(row)
         put.add(CF, LOCK_QUALIFIER, LOCK_HELD)
         for _ in range(self.max_attempts):
             if table.check_and_put(row, CF, LOCK_QUALIFIER, LOCK_FREE, put):
+                if ctx is not None:
+                    ctx.lock_record((root, row))
                 return row
             # entry may not exist yet (root row inserted in this txn)
             if table.check_and_put(row, CF, LOCK_QUALIFIER, None, put):
+                if ctx is not None:
+                    ctx.lock_record((root, row))
                 return row
         raise LockTimeoutError(
             f"could not acquire lock on {root} key {list(key_values)!r} "
@@ -81,6 +99,12 @@ class LockManager:
         put = Put(row)
         put.add(CF, LOCK_QUALIFIER, LOCK_FREE)
         table.put(put)
+        sim = self.client.cluster.sim
+        ctx = sim.concurrency
+        if ctx is not None:
+            # close the hold interval *after* the release put's charges,
+            # so the interval covers the whole critical section
+            ctx.lock_release((root, row), sim.clock.now_ms)
 
     def is_held(self, root: str, key_values: Sequence[Any]) -> bool:
         from repro.hbase.ops import Get

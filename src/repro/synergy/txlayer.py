@@ -30,7 +30,7 @@ class TxLogEntry:
     tx_id: int
     sql: str
     params: tuple[Any, ...]
-    status: str = "pending"  # -> "committed"
+    status: str = "pending"  # -> "committed" | "failed" | "recovered"
 
 
 @dataclass
@@ -113,7 +113,14 @@ class TransactionManagerSlave:
         entry = TxLogEntry(tx_id=next(self._ids), sql=sql, params=tuple(params))
         self.wal.append(entry)
         self.sim.charge(self.sim.cost.wal_append_ms, "txlayer.wal")
-        result = self._run(stmt, tuple(params), on_step)
+        try:
+            result = self._run(stmt, tuple(params), on_step)
+        except BaseException:
+            # a failed statement (e.g. a cooperative lock wait that will
+            # be retried as a fresh request) must not leave a pending WAL
+            # record for the master to replay on failover
+            entry.status = "failed"
+            raise
         entry.status = "committed"
         return result
 

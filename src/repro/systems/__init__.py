@@ -11,12 +11,13 @@ Baseline    none                           MVCC (Tephra)
 ==========  =============================  ===============================
 """
 
-from repro.systems.base import EvaluatedSystem, SystemDescription
+from repro.systems.base import EvaluatedSystem, SystemDescription, SystemSession
 from repro.systems.baseline import BaselineSystem
 from repro.systems.mvcc_a import MvccASystem
+from repro.systems.mvcc_base import MvccSession
 from repro.systems.mvcc_ua import MvccUASystem
 from repro.systems.synergy_sys import SynergyEvaluatedSystem
-from repro.systems.voltdb_sys import VoltDBEvaluatedSystem
+from repro.systems.voltdb_sys import VoltDBEvaluatedSystem, VoltdbSession
 from repro.systems.advisor import AdvisorCandidate, TuningAdvisor
 
 __all__ = [
@@ -24,9 +25,12 @@ __all__ = [
     "BaselineSystem",
     "EvaluatedSystem",
     "MvccASystem",
+    "MvccSession",
     "MvccUASystem",
     "SynergyEvaluatedSystem",
     "SystemDescription",
+    "SystemSession",
     "TuningAdvisor",
     "VoltDBEvaluatedSystem",
+    "VoltdbSession",
 ]

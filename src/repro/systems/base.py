@@ -18,6 +18,34 @@ class SystemDescription:
     concurrency_control: str
 
 
+class SystemSession:
+    """One virtual client's connection to an evaluated system.
+
+    The default implementation is auto-commit: ``begin``/``commit`` are
+    no-ops and every ``execute`` is its own transaction (which is how
+    Synergy runs — each write is one lock-protected transaction through
+    the transaction layer). Systems with real multi-statement
+    transaction state (the Tephra-backed ones) or with serialized
+    execution resources (VoltDB) override this.
+    """
+
+    def __init__(self, system: "EvaluatedSystem", client_name: str = "client") -> None:
+        self.system = system
+        self.client_name = client_name
+
+    def begin(self) -> None:
+        pass
+
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        return self.system.execute(sql, params)
+
+    def commit(self) -> None:
+        pass
+
+    def abort(self) -> None:
+        pass
+
+
 class EvaluatedSystem(abc.ABC):
     """A populated system that can run workload statements and report
     virtual response times."""
@@ -51,6 +79,10 @@ class EvaluatedSystem(abc.ABC):
 
     def supports(self, statement_id: str) -> bool:
         return True
+
+    def open_session(self, client_name: str = "client") -> SystemSession:
+        """A per-client session handle for scheduled multi-client runs."""
+        return SystemSession(self, client_name)
 
     def timed(self, sql: str, params: tuple[Any, ...] = ()) -> tuple[Any, float]:
         sw = self.sim.stopwatch()

@@ -22,7 +22,96 @@ from repro.sql.ast import Delete, Insert, Select, Update
 from repro.sql.parser import parse_statement
 from repro.synergy.maintenance import ViewMaintainer
 from repro.synergy.views import ViewDef
-from repro.systems.base import EvaluatedSystem
+from repro.systems.base import EvaluatedSystem, SystemSession
+
+
+class MvccSession(SystemSession):
+    """A per-client session holding ONE open Tephra transaction across
+    statements, so transactions from different virtual clients genuinely
+    overlap: begins and commits interleave at the shared TephraServer,
+    and the optimistic check at commit detects *real* write-write
+    conflicts (raised as ``TransactionConflictError`` for the scheduler's
+    transaction runner to abort and retry). The Tephra write transaction
+    opens lazily at the first write statement, so read-only transactions
+    pay only the cached-snapshot refresh, never the begin round trip.
+
+    Writes inside an open transaction are buffered as intents: the
+    change-set key is recorded at ``execute`` time (so the optimistic
+    check sees it), but the store mutation is applied only after
+    ``commit`` passes the conflict check — the equivalent of Tephra's
+    rollback of persisted changes on abort. An aborted transaction
+    therefore leaves no trace in the store, and concurrent readers never
+    observe uncommitted writes.
+
+    Isolation model: reads inside the open transaction go straight to
+    the committed store — **read committed**, not a begin-time snapshot
+    (the store keeps no per-transaction versions), and they do not see
+    the session's own buffered writes. Combined with write-write-only
+    conflict detection, serializability is guaranteed for transactions
+    whose writes are blind (the scheduled TPC-W mixes and the property
+    suites); read-write anti-dependencies are not tracked, as in real
+    Tephra."""
+
+    system: "MvccSystemBase"
+
+    def __init__(self, system: "MvccSystemBase", client_name: str = "client") -> None:
+        super().__init__(system, client_name)
+        self.tx: MvccTransaction | None = None
+        self._open = False
+        self._snapshot_charged = False
+        self._pending: list[tuple[Any, tuple[Any, ...], tuple[Any, dict]]] = []
+
+    def begin(self) -> None:
+        if self._open:
+            raise PlanError(f"{self.client_name}: transaction already open")
+        self._open = True
+        self._snapshot_charged = False
+        self._pending = []
+
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        if not self._open:  # auto-commit outside begin/commit
+            return self.system.execute(sql, params)
+        sim = self.system.sim
+        stmt = parse_statement(sql)
+        if isinstance(stmt, Select):
+            if self.tx is None and not self._snapshot_charged:
+                # read-only so far: pay only the client-cached snapshot
+                # refresh, matching the single-client read path
+                sim.charge(sim.cost.mvcc_read_snapshot_ms, "mvcc.snapshot")
+                self._snapshot_charged = True
+            # read committed: straight from the store, no server round
+            # trip (see the class docstring for the isolation model)
+            return self.system.conn.execute_query(stmt, params)
+        sim.charge(sim.cost.phoenix_statement_ms, "phoenix.statement")
+        if self.tx is None:
+            # the write transaction opens lazily at the first write, so
+            # read-only transactions never pay the begin round trip
+            self.tx = self.system.tephra.begin(read_only=False)
+        target = self.system._write_target(stmt, tuple(params))
+        self.tx.record_write(target[0].name, target[0].encode_key(target[1]))
+        self._pending.append((stmt, tuple(params), target))
+        return None  # row count is unknown until the intent is applied
+
+    def commit(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        tx, self.tx = self.tx, None
+        pending, self._pending = self._pending, []
+        if tx is None:
+            return  # read-only transaction: nothing to commit
+        self.system.tephra.commit(tx)  # may raise TransactionConflictError
+        for stmt, params, target in pending:
+            self.system._apply_write(stmt, params, target)
+
+    def abort(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        tx, self.tx = self.tx, None
+        self._pending = []
+        if tx is not None and tx.state == "open":
+            self.system.tephra.abort(tx)
 
 
 class MvccSystemBase(EvaluatedSystem):
@@ -74,6 +163,9 @@ class MvccSystemBase(EvaluatedSystem):
     def db_size_bytes(self) -> int:
         return self.cluster.total_size_bytes()
 
+    def open_session(self, client_name: str = "client") -> MvccSession:
+        return MvccSession(self, client_name)
+
     # -- execution ------------------------------------------------------------------
     def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
         stmt = parse_statement(sql)
@@ -101,34 +193,49 @@ class MvccSystemBase(EvaluatedSystem):
     def _execute_write(
         self, stmt: Any, params: tuple[Any, ...], tx: MvccTransaction
     ) -> int:
+        target = self._write_target(stmt, params)
+        tx.record_write(target[0].name, target[0].encode_key(target[1]))
+        return self._apply_write(stmt, params, target)
+
+    def _write_target(
+        self, stmt: Any, params: tuple[Any, ...]
+    ) -> tuple[Any, dict[str, Any]]:
+        """The catalog entry and row/key dict a write statement touches.
+        Pure computation: lets a session record its change-set key
+        before the store mutation is applied."""
+        if not isinstance(stmt, (Insert, Update, Delete)):
+            raise PlanError(f"not a write statement: {stmt}")
+        entry = self.catalog.table_for_relation(stmt.table)
         if isinstance(stmt, Insert):
-            entry = self.catalog.table_for_relation(stmt.table)
             columns = stmt.columns or entry.attrs
             row = {c: eval_const(v, params) for c, v in zip(columns, stmt.values)}
-            tx.record_write(entry.name, entry.encode_key(row))
-            self.writer.insert_row(stmt.table, row)
-            self.maintainer.apply_insert(stmt.table, row)
+            return entry, row
+        return entry, key_from_where(entry, stmt.where, params)
+
+    def _apply_write(
+        self,
+        stmt: Any,
+        params: tuple[Any, ...],
+        target: tuple[Any, dict[str, Any]] | None = None,
+    ) -> int:
+        entry, row_or_key = target or self._write_target(stmt, params)
+        if isinstance(stmt, Insert):
+            self.writer.insert_row(stmt.table, row_or_key)
+            self.maintainer.apply_insert(stmt.table, row_or_key)
             return 1
         if isinstance(stmt, Update):
-            entry = self.catalog.table_for_relation(stmt.table)
-            key = key_from_where(entry, stmt.where, params)
             changes = {c: eval_const(v, params) for c, v in stmt.assignments}
-            tx.record_write(entry.name, entry.encode_key(key))
-            if self.writer.update_row(stmt.table, key, changes) is None:
+            if self.writer.update_row(stmt.table, row_or_key, changes) is None:
                 return 0
             for view in self.maintainer.views_for_update(stmt.table):
                 view_entry = self.maintainer.view_entry(view)
                 if not any(a in view_entry.attrs for a in changes):
                     continue  # narrow advisor views may not store the attr
-                rows = self.maintainer.locate_view_rows(view, stmt.table, key)
+                rows = self.maintainer.locate_view_rows(view, stmt.table, row_or_key)
                 self.maintainer.write_view_rows(view, rows, changes)
             return 1
-        if isinstance(stmt, Delete):
-            entry = self.catalog.table_for_relation(stmt.table)
-            key = key_from_where(entry, stmt.where, params)
-            tx.record_write(entry.name, entry.encode_key(key))
-            if self.writer.delete_row(stmt.table, key) is None:
-                return 0
-            self.maintainer.apply_delete(stmt.table, key)
-            return 1
-        raise PlanError(f"not a write statement: {stmt}")
+        # only Delete remains: _write_target already rejected non-writes
+        if self.writer.delete_row(stmt.table, row_or_key) is None:
+            return 0
+        self.maintainer.apply_delete(stmt.table, row_or_key)
+        return 1

@@ -13,6 +13,12 @@ from repro.systems.base import EvaluatedSystem, SystemDescription
 
 
 class SynergyEvaluatedSystem(EvaluatedSystem):
+    """Synergy uses the default auto-commit :class:`SystemSession` for
+    multi-client runs: each write is one lock-protected transaction
+    through the transaction layer, and contention surfaces as
+    ``LockWaitRequired`` from the LockManager's recorded hold intervals
+    (blocking-and-retry in the scheduler's transaction runner)."""
+
     description = SystemDescription(
         name="Synergy",
         mv_selection="Schema relationships aware",

@@ -14,10 +14,53 @@ from repro.errors import UnsupportedStatementError
 from repro.relational.schema import Schema
 from repro.relational.workload import Workload
 from repro.sim.clock import Simulation
+from repro.sql.analyzer import analyze_select
 from repro.sql.ast import Select
 from repro.sql.parser import parse_statement
-from repro.systems.base import EvaluatedSystem, SystemDescription
+from repro.systems.base import EvaluatedSystem, SystemDescription, SystemSession
 from repro.voltdb.system import PartitionScheme, TPCW_SCHEMES, VoltDBSystem
+
+
+class VoltdbSession(SystemSession):
+    """VoltDB's serial-partition execution model under multi-client
+    scheduling: each partition executor site is single-threaded, so an
+    operation queues until every site it is routed to (one for
+    single-partition procedures, all of them for multi-partition reads
+    and replicated-table writes) is free in virtual time. Auto-commit
+    like the base session (every VoltDB procedure is its own
+    serializable transaction)."""
+
+    system: "VoltDBEvaluatedSystem"
+
+    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
+        sim = self.system.sim
+        ctx = sim.concurrency
+        if ctx is None:
+            return self.system.execute(sql, params)
+        engine = self.system.engine
+        stmt = parse_statement(sql)  # parsed and analyzed once, shared below
+        analyzed = (
+            analyze_select(stmt, engine.schema)
+            if isinstance(stmt, Select) else None
+        )
+        scheme = self.system.scheme_for(sql, stmt=stmt, analyzed=analyzed)
+        if scheme is None:
+            raise UnsupportedStatementError(
+                "query joins are not supported under any partitioning scheme"
+            )
+        engine.set_scheme(scheme)
+        sites = [
+            (engine, p) for p in engine.partitions_for(stmt, params, analyzed)
+        ]
+        clock = sim.clock
+        wait_ms = ctx.serial_delay_ms(sites, clock.now_ms)
+        if wait_ms > 0:
+            # queueing delay, not work: bypass jitter, advance exactly
+            clock.advance(wait_ms)
+            sim.metrics.timer("voltdb.queue_wait").record(wait_ms)
+        result = engine.execute(sql, params, stmt=stmt, analyzed=analyzed)
+        ctx.serial_occupy(sites, clock.now_ms)
+        return result
 
 
 class VoltDBEvaluatedSystem(EvaluatedSystem):
@@ -48,14 +91,19 @@ class VoltDBEvaluatedSystem(EvaluatedSystem):
     def statement(self, statement_id: str) -> str:
         return self._statements[statement_id]
 
-    def scheme_for(self, sql: str) -> PartitionScheme | None:
-        stmt = parse_statement(sql)
+    def scheme_for(
+        self, sql: str, stmt: Any | None = None, analyzed: Any | None = None
+    ) -> PartitionScheme | None:
+        if stmt is None:
+            stmt = parse_statement(sql)
         if not isinstance(stmt, Select):
             return self.schemes[0]
+        if analyzed is None:
+            analyzed = analyze_select(stmt, self.engine.schema)
         for scheme in self.schemes:
             self.engine.set_scheme(scheme)
             try:
-                self.engine.check_supported(stmt)
+                self.engine.check_supported(stmt, analyzed)
                 return scheme
             except UnsupportedStatementError:
                 continue
@@ -72,6 +120,9 @@ class VoltDBEvaluatedSystem(EvaluatedSystem):
             )
         self.engine.set_scheme(scheme)
         return self.engine.execute(sql, params)
+
+    def open_session(self, client_name: str = "client") -> VoltdbSession:
+        return VoltdbSession(self, client_name)
 
     def load_row(self, relation: str, row: dict[str, Any]) -> None:
         self.engine.load_row(relation, row)

@@ -9,6 +9,7 @@ every scheme (Fig. 12)."""
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
@@ -141,8 +142,11 @@ class VoltDBSystem:
         return total
 
     # -- support check (the paper's join restriction) -------------------------------
-    def check_supported(self, select: Select) -> None:
-        analyzed = analyze_select(select, self.schema)
+    def check_supported(
+        self, select: Select, analyzed: AnalyzedSelect | None = None
+    ) -> None:
+        if analyzed is None:
+            analyzed = analyze_select(select, self.schema)
         for j in analyzed.joins:
             if not j.is_equi:
                 continue
@@ -183,10 +187,17 @@ class VoltDBSystem:
             self.scheme = old
 
     # -- execution -----------------------------------------------------------------
-    def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
-        stmt = parse_statement(sql)
+    def execute(
+        self,
+        sql: str,
+        params: tuple[Any, ...] = (),
+        stmt: Statement | None = None,
+        analyzed: AnalyzedSelect | None = None,
+    ) -> Any:
+        if stmt is None:
+            stmt = parse_statement(sql)
         if isinstance(stmt, Select):
-            return self._execute_select(stmt, params)
+            return self._execute_select(stmt, params, analyzed)
         return self._execute_write(stmt, params)
 
     def timed(self, sql: str, params: tuple[Any, ...] = ()) -> tuple[Any, float]:
@@ -251,16 +262,74 @@ class VoltDBSystem:
 
     # -- read path ---------------------------------------------------------------------
     def _execute_select(
-        self, select: Select, params: tuple[Any, ...]
+        self,
+        select: Select,
+        params: tuple[Any, ...],
+        analyzed: AnalyzedSelect | None = None,
     ) -> list[dict[str, Any]]:
-        self.check_supported(select)
+        if analyzed is None:
+            analyzed = analyze_select(select, self.schema)
+        self.check_supported(select, analyzed)
         self.sim.charge(self.sim.cost.voltdb_proc_base_ms, "voltdb.proc")
-        analyzed = analyze_select(select, self.schema)
         if self._is_multipartition(select, analyzed):
             self.sim.charge(self.sim.cost.voltdb_multipart_ms, "voltdb.multipart")
         rows, examined = self._join_rows(select, analyzed, params)
         self._charge_rows(examined)
         return self._finalize(select, analyzed, rows, params)
+
+    # -- routing ---------------------------------------------------------------------
+    def partitions_for(
+        self,
+        stmt: Statement,
+        params: tuple[Any, ...],
+        analyzed: AnalyzedSelect | None = None,
+    ) -> tuple[int, ...]:
+        """The partition executor sites a procedure occupies under the
+        active scheme: one routed partition for single-partition
+        procedures, every site for multi-partition reads and for writes
+        to replicated tables (which run on all replicas)."""
+        every = tuple(range(self.num_partitions))
+        if isinstance(stmt, Select):
+            if analyzed is None:
+                analyzed = analyze_select(stmt, self.schema)
+            for f_ in analyzed.filters:
+                if f_.op != "=" or f_.relation is None:
+                    continue
+                if self.scheme.column_of(f_.relation) != f_.attr:
+                    continue
+                if isinstance(f_.value, (Literal, Param)):
+                    return (self._partition_of(self._const(f_.value, params)),)
+            return every
+        if isinstance(stmt, Insert):
+            pcol = self.scheme.column_of(stmt.table)
+            if pcol is None:
+                return every
+            columns = stmt.columns or self.tables[stmt.table].relation.attribute_names
+            for c, v in zip(columns, stmt.values):
+                if c == pcol:
+                    return (self._partition_of(self._const(v, params)),)
+            return every
+        if isinstance(stmt, (Update, Delete)):
+            pcol = self.scheme.column_of(stmt.table)
+            if pcol is None:
+                return every
+            for cond in stmt.where:
+                col = cond.left if isinstance(cond.left, ColumnRef) else cond.right
+                val = cond.right if isinstance(cond.left, ColumnRef) else cond.left
+                if (
+                    isinstance(col, ColumnRef) and cond.op == "="
+                    and col.name == pcol and isinstance(val, (Literal, Param))
+                ):
+                    return (self._partition_of(self._const(val, params)),)
+            return every
+        return every
+
+    def _partition_of(self, value: Any) -> int:
+        """Deterministic routing hash (``hash()`` is salted per process,
+        which would break byte-identical benchmark reruns)."""
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value % self.num_partitions
+        return zlib.crc32(repr(value).encode()) % self.num_partitions
 
     def _is_multipartition(self, select: Select, analyzed: AnalyzedSelect) -> bool:
         """Single-partition iff some partitioned table has an equality
