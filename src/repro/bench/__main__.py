@@ -30,6 +30,7 @@ from repro.bench.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_scaleout,
     run_storage_perf,
     run_table1,
     run_table2,
@@ -39,7 +40,7 @@ from repro.bench.tpcw_lab import TpcwLab
 
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
-    "table2", "table3", "concurrency",
+    "table2", "table3", "concurrency", "scaleout",
 )
 
 
@@ -63,6 +64,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="transactions per virtual client")
     parser.add_argument("--concurrency-scale", type=int, default=40,
                         help="TPC-W customers for the concurrency experiment")
+    parser.add_argument("--servers", type=str, default="1,2,4,8",
+                        help="comma-separated region-server counts for the "
+                             "scale-out experiment")
+    parser.add_argument("--scaleout-clients", type=str, default="4,16",
+                        help="comma-separated client counts for the "
+                             "scale-out experiment")
+    parser.add_argument("--scaleout-ops", type=int, default=60,
+                        help="operations per virtual client in the "
+                             "scale-out experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -140,6 +150,24 @@ def main(argv: list[str] | None = None) -> int:
             client_counts,
             txns_per_client=args.concurrency_txns,
             num_customers=args.concurrency_scale,
+            progress=say,
+        ).values():
+            record(r)
+    if "scaleout" in selected:
+        # like concurrency: virtual-time metrics only, never wall-clock
+        # timed, so the emitted trajectory is byte-identical across runs
+        server_counts = tuple(
+            int(s) for s in args.servers.split(",") if s.strip() and int(s) > 0
+        )
+        scaleout_clients = tuple(
+            int(s)
+            for s in args.scaleout_clients.split(",")
+            if s.strip() and int(s) > 0
+        )
+        for r in run_scaleout(
+            server_counts,
+            scaleout_clients,
+            ops_per_client=args.scaleout_ops,
             progress=say,
         ).values():
             record(r)

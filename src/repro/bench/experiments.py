@@ -15,9 +15,9 @@ from repro.bench.harness import (
     summarize,
 )
 from repro.bench.tpcw_lab import SYSTEM_NAMES, TpcwLab
-from repro.config import CostModel, DEFAULT_COST_MODEL
-from repro.hbase.client import HBaseClient
-from repro.hbase.cluster import HBaseCluster
+from repro.config import ClusterConfig, CostModel, DEFAULT_COST_MODEL
+from repro.hbase.client import HBaseClient, HTable
+from repro.hbase.cluster import HBaseCluster, RegionBalancer
 from repro.sim.clock import Simulation
 from repro.sim.rng import derive_rng
 from repro.sim.scheduler import DeterministicScheduler, percentile, run_transaction
@@ -33,7 +33,7 @@ from repro.tpcw.microbench import (
     micro_schema,
     micro_workload,
 )
-from repro.hbase.ops import Put, Scan
+from repro.hbase.ops import Get, Put, Scan
 from repro.tpcw.queries import JOIN_QUERIES
 from repro.tpcw.writes import WRITE_STATEMENTS
 
@@ -509,6 +509,167 @@ def concurrency_smoke(
         out["committed"] += report.committed
         out["failed"] += sum(c["failed"] for c in report.clients.values())
     return out
+
+
+# ------------------------------------------------------------ scale-out
+def _scaleout_ops(rng, ops_per_client: int, key_space: int, value_bytes: int):
+    """One client's deterministic op mix: 70% point gets, 20% puts,
+    10% short range scans, keys drawn uniformly from the loaded space."""
+    payload = b"y" * value_bytes
+    ops = []
+    for _ in range(ops_per_client):
+        r = float(rng.random())
+        key = b"%08d" % int(rng.integers(0, key_space))
+        if r < 0.70:
+            ops.append(("get", key, None))
+        elif r < 0.90:
+            ops.append(("put", key, payload))
+        else:
+            ops.append(("scan", key, None))
+    return ops
+
+
+def _scaleout_cell(
+    num_servers: int,
+    clients: int,
+    ops_per_client: int,
+    preload_rows: int,
+    split_threshold: int,
+    value_bytes: int,
+    seed: int,
+):
+    """Build one cluster at ``num_servers``, grow the table through
+    auto-splits, balance it, then drive ``clients`` virtual clients.
+    Returns (report, region_count, distribution)."""
+    sim = Simulation(seed=seed)
+    config = ClusterConfig(
+        num_region_servers=num_servers,
+        region_split_threshold_bytes=split_threshold,
+        seed=seed,
+    )
+    cluster = HBaseCluster(sim, config)
+    client = HBaseClient(cluster)
+    table = client.create_table("scale")
+    payload = b"x" * value_bytes
+    puts = []
+    for i in range(preload_rows):
+        p = Put(b"%08d" % i)
+        p.add(b"cf", b"v", payload)
+        puts.append(p)
+    table.put_batch(puts)  # crosses the split threshold repeatedly
+    RegionBalancer(cluster, policy="load-aware").rebalance()
+    sim.reset_clock()
+
+    scheduler = DeterministicScheduler(sim)
+    for i in range(clients):
+        # the RNG label excludes both the server and the client count,
+        # so client i replays the same op mix in every cell of the grid
+        rng = derive_rng(seed, f"scaleout/client-{i}")
+        ops = _scaleout_ops(rng, ops_per_client, preload_rows, value_bytes)
+        handle = HTable(cluster, "scale")  # per-client location cache
+
+        def program(vc, handle=handle, ops=ops):
+            for kind, key, payload in ops:
+                yield "op"
+                started = vc.clock.now_ms
+                if kind == "get":
+                    handle.get(Get(key))
+                elif kind == "put":
+                    p = Put(key)
+                    p.add(b"cf", b"v", payload)
+                    handle.put(p)
+                else:
+                    for _ in handle.scan(Scan(start_row=key, limit=8)):
+                        pass
+                vc.stats.committed += 1
+                vc.stats.response_times.append(vc.clock.now_ms - started)
+
+        scheduler.add_client(f"client-{i}", program)
+    report = scheduler.run()
+    desc = cluster.descriptor("scale")
+    return report, len(desc.regions), cluster.region_distribution()
+
+
+def run_scaleout(
+    server_counts: tuple[int, ...] = (1, 2, 4, 8),
+    client_counts: tuple[int, ...] = (4, 16),
+    ops_per_client: int = 60,
+    preload_rows: int = 2048,
+    split_threshold: int = 8 * 1024,
+    value_bytes: int = 16,
+    seed: int = 20170904,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Aggregate throughput and tail latency vs region-server count.
+
+    Every cell loads the same table through the size-triggered split
+    path (one region recursively splits into dozens), rebalances the
+    daughters across the cell's servers with the load-aware policy, and
+    drives N closed-loop virtual clients through the deterministic
+    scheduler. Operations queue on the region server hosting the
+    addressed region, so the throughput curve directly measures how
+    much parallelism the region layout exposes. Everything derives from
+    virtual time and seeded draws: reruns are byte-identical.
+    """
+    say = progress or (lambda _m: None)
+    results = {
+        "throughput": ExperimentResult(
+            "ScaleoutThroughput",
+            "Aggregate committed ops per second vs region servers",
+            "region servers",
+            unit="ops/s (virtual)",
+        ),
+        "p99": ExperimentResult(
+            "ScaleoutP99",
+            "99th percentile operation response time vs region servers",
+            "region servers",
+        ),
+    }
+    for r in results.values():
+        r.x_values = list(server_counts)
+    series = {
+        metric: {
+            n: r.add_series(f"{n} clients") for n in client_counts
+        }
+        for metric, r in results.items()
+    }
+    layout_notes: list[str] = []
+    for clients in client_counts:
+        for servers in server_counts:
+            say(f"[scaleout] {servers} servers x {clients} clients")
+            report, regions, distribution = _scaleout_cell(
+                servers, clients, ops_per_client, preload_rows,
+                split_threshold, value_bytes, seed,
+            )
+            ops = report.committed
+            throughput = (
+                ops / (report.makespan_ms / 1000.0)
+                if report.makespan_ms > 0 else 0.0
+            )
+            rts = report.response_times
+            series["throughput"][clients].set(servers, Stat(throughput, 0.0, 1))
+            series["p99"][clients].set(
+                servers, Stat(percentile(rts, 0.99) if rts else 0.0, 0.0, ops)
+            )
+            if clients == client_counts[-1]:
+                spread = (
+                    f"{min(distribution.values())}-{max(distribution.values())}"
+                )
+                layout_notes.append(
+                    f"{servers} servers: {regions} regions after auto-split "
+                    f"({spread} per server), {report.serial_wait_count} "
+                    f"server-queue waits @ {clients} clients"
+                )
+    config_note = (
+        f"{preload_rows} preloaded rows, {split_threshold}B split threshold, "
+        f"{ops_per_client} ops/client (70/20/10 get/put/scan), seed {seed}; "
+        "closed loop, zero think time, load-aware balancing"
+    )
+    for r in results.values():
+        r.note(config_note)
+        for note in layout_notes:
+            r.note(note)
+    return results
 
 
 # --------------------------------------------------------------------- Table I

@@ -135,6 +135,14 @@ class ClusterConfig:
     max_versions: int = 1
     seed: int = 20170904  # CLUSTER'17 conference date
 
+    region_split_threshold_bytes: int | None = None
+    """Size-triggered mid-key region splitting: a region whose
+    approximate size reaches this many bytes after a write batch is
+    split (recursively, until every daughter is below the threshold or
+    down to a single row). ``None`` disables splitting entirely, which
+    keeps every pre-existing experiment's region layout — and therefore
+    its simulated latency — bit-identical."""
+
     cost: CostModel = field(default_factory=CostModel)
 
 

@@ -57,6 +57,11 @@ class RegionUnavailableError(HBaseError):
     """The region hosting a key is offline (simulated failure)."""
 
 
+class RegionSplitError(HBaseError):
+    """A region cannot be split (too few rows, or the requested split
+    key is not strictly inside the region's key range)."""
+
+
 class TransactionError(ReproError):
     """Errors from either transaction layer (MVCC or Synergy)."""
 

@@ -20,7 +20,7 @@ measure elapsed virtual time.
 from repro.hbase.bytes_util import decode_key, encode_key
 from repro.hbase.cell import Cell, Result
 from repro.hbase.client import HBaseClient, HTable
-from repro.hbase.cluster import HBaseCluster
+from repro.hbase.cluster import HBaseCluster, RegionBalancer
 from repro.hbase.ops import Delete, Get, Increment, Put, Scan
 from repro.hbase.filters import (
     ColumnValueFilter,
@@ -41,6 +41,7 @@ __all__ = [
     "Increment",
     "PrefixFilter",
     "Put",
+    "RegionBalancer",
     "Result",
     "RowRangeFilter",
     "Scan",

@@ -9,7 +9,20 @@ by the region server it lands on.
 Region locations are cached client-side (mirroring real HBase meta
 caching): point ops consult the last-hit region first and fall back to
 the table descriptor's binary search only on a range miss or when the
-descriptor's region layout version moved (split/drop/recovery).
+descriptor's region layout version moved (split/drop/recovery). A
+cached location can still go stale *mid-operation* — a region can split
+between resolution and execution — in which case the op observes the
+offline parent, pays one extra meta round trip, re-resolves, and
+retries against the daughter (real HBase's NotServingRegionException
+dance). Scans do the same: a split under an open scanner makes the
+client reopen at the next undelivered row on whichever daughter now
+owns it, so one logical scan seamlessly crosses split boundaries.
+
+Under a multi-client scheduler (``sim.concurrency`` installed) every
+operation additionally queues on the region server that hosts the
+addressed region — per-partition work routes to its owning server, so
+scale-out genuinely parallelizes. Single-client runs skip all of it and
+stay bit-identical.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
+from repro.errors import RegionUnavailableError
 from repro.hbase.cell import Result
 from repro.hbase.cluster import HBaseCluster
 from repro.hbase.ops import Delete, Get, Increment, Put, Scan
@@ -51,26 +65,71 @@ class HTable:
         self._cached_version = self.desc.version
         return region
 
+    def _relocate(self, region: Region) -> None:
+        """A located region turned out to be offline mid-operation. If
+        it split, drop the cached location and pay one meta round trip
+        so the caller can retry against the daughters; anything else
+        (a crashed server) propagates — recovery is the master's job."""
+        if region.split_daughters is None:
+            raise  # noqa: PLE0704 - re-raise the active RegionUnavailableError
+        self._cached_region = None
+        self.charge.rpc()  # meta lookup to refresh the location
+
+    # -- scheduled-run routing ----------------------------------------------------------
+    def _enter_server(self, server):
+        """Queue on the owning region server when a scheduler is
+        driving multiple clients; no-op (and no cost) otherwise."""
+        ctx = self.cluster.sim.concurrency
+        if ctx is not None:
+            ctx.serial_enter((server,), self.cluster.sim)
+        return ctx
+
+    def _routed(self, row: bytes, op_at):
+        """Run ``op_at(region)`` against the located region, retrying
+        through :meth:`_relocate` whenever the location was stale."""
+        while True:
+            region = self._locate(row)
+            try:
+                return op_at(region)
+            except RegionUnavailableError:
+                self._relocate(region)
+
     # -- point ops --------------------------------------------------------------------
     def get(self, op: Get) -> Result | None:
-        region = self._locate(op.row)
-        server = self.cluster.server_for(region)
+        return self._routed(op.row, lambda region: self._get_at(region, op))
+
+    def _get_at(self, region: Region, op: Get) -> Result | None:
+        # the round trip is charged before resolving the host: a stale
+        # location still pays the wasted RPC that discovers it is stale
         self.charge.rpc()
-        server.charge.seek()
-        result = region.read_row(
-            op.row, op.columns, op.max_versions, op.time_range
-        )
-        if result is not None:
-            server.charge.rows_read(1)
-            self.charge.transfer(result.size_bytes)
-        return result
+        server = self.cluster.server_for(region)
+        ctx = self._enter_server(server)
+        try:
+            server.charge.seek()
+            result = region.read_row(
+                op.row, op.columns, op.max_versions, op.time_range
+            )
+            if result is not None:
+                server.charge.rows_read(1)
+                self.charge.transfer(result.size_bytes)
+            return result
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     def put(self, op: Put) -> None:
-        region = self._locate(op.row)
-        server = self.cluster.server_for(region)
+        self._routed(op.row, lambda region: self._put_at(region, op))
+
+    def _put_at(self, region: Region, op: Put) -> None:
         self.charge.rpc()
-        ts = self.cluster.next_timestamp()
-        server.apply_put(region, op.row, op.cells, ts)
+        server = self.cluster.server_for(region)
+        ctx = self._enter_server(server)
+        try:
+            ts = self.cluster.next_timestamp()
+            server.apply_put(region, op.row, op.cells, ts)
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     def put_batch(self, ops: list[Put]) -> None:
         """Buffered multi-put: one RPC per addressed region, WAL batched."""
@@ -108,40 +167,65 @@ class HTable:
                 cur_append(op)
             grouped = list(groups.values())
         for region, puts in grouped:
-            server = self.cluster.server_for(region)
-            self.charge.rpc()
-            server.charge.wal_append()  # one group sync per region batch
-            first_ts = self.cluster.reserve_timestamps(len(puts))
-            server.apply_puts(region, puts, first_ts)
+            try:
+                self.charge.rpc()
+                server = self.cluster.server_for(region)
+                ctx = self._enter_server(server)
+                try:
+                    server.charge.wal_append()  # one group sync per batch
+                    first_ts = self.cluster.reserve_timestamps(len(puts))
+                    server.apply_puts(region, puts, first_ts)
+                finally:
+                    if ctx is not None:
+                        ctx.serial_exit((server,), self.cluster.sim)
+            except RegionUnavailableError:
+                # the group's region split under the batch: re-dispatch
+                # just these puts, regrouped against the fresh layout
+                self._relocate(region)
+                self.put_batch(puts)
 
     def delete(self, op: Delete) -> None:
-        region = self._locate(op.row)
-        server = self.cluster.server_for(region)
+        self._routed(op.row, lambda region: self._delete_at(region, op))
+
+    def _delete_at(self, region: Region, op: Delete) -> None:
         self.charge.rpc()
-        ts = self.cluster.next_timestamp()
-        server.apply_delete(region, op.row, op.columns, ts)
+        server = self.cluster.server_for(region)
+        ctx = self._enter_server(server)
+        try:
+            ts = self.cluster.next_timestamp()
+            server.apply_delete(region, op.row, op.columns, ts)
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     def increment(self, op: Increment) -> int:
         """Atomic read-add-write on an 8-byte big-endian counter."""
-        region = self._locate(op.row)
-        server = self.cluster.server_for(region)
+        return self._routed(op.row, lambda region: self._increment_at(region, op))
+
+    def _increment_at(self, region: Region, op: Increment) -> int:
         self.charge.rpc()
-        server.charge.seek()
-        result = region.read_row(op.row, [(op.family, op.qualifier)])
-        current = 0
-        if result is not None:
-            raw = result.value(op.family, op.qualifier)
-            if raw:
-                current = struct.unpack(">q", raw)[0]
-        new_value = current + op.amount
-        ts = self.cluster.next_timestamp()
-        server.apply_put(
-            region,
-            op.row,
-            [(op.family, op.qualifier, struct.pack(">q", new_value), None)],
-            ts,
-        )
-        return new_value
+        server = self.cluster.server_for(region)
+        ctx = self._enter_server(server)
+        try:
+            server.charge.seek()
+            result = region.read_row(op.row, [(op.family, op.qualifier)])
+            current = 0
+            if result is not None:
+                raw = result.value(op.family, op.qualifier)
+                if raw:
+                    current = struct.unpack(">q", raw)[0]
+            new_value = current + op.amount
+            ts = self.cluster.next_timestamp()
+            server.apply_put(
+                region,
+                op.row,
+                [(op.family, op.qualifier, struct.pack(">q", new_value), None)],
+                ts,
+            )
+            return new_value
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     def check_and_put(
         self,
@@ -153,24 +237,44 @@ class HTable:
     ) -> bool:
         """Atomically: if current value of (family, qualifier) == expected
         (None = column absent), apply ``put`` and return True."""
-        region = self._locate(row)
-        server = self.cluster.server_for(region)
+        return self._routed(
+            row,
+            lambda region: self._check_and_put_at(
+                region, row, family, qualifier, expected, put
+            ),
+        )
+
+    def _check_and_put_at(
+        self,
+        region: Region,
+        row: bytes,
+        family: bytes,
+        qualifier: bytes,
+        expected: bytes | None,
+        put: Put,
+    ) -> bool:
         self.charge.check_and_put()
-        # the read half of the RMW pays what a Get pays: a server-side
-        # seek plus, when the row exists, row materialization and the
-        # compared bytes over the wire
-        server.charge.seek()
-        result = region.read_row(row, [(family, qualifier)])
-        current = None
-        if result is not None:
-            server.charge.rows_read(1)
-            self.charge.transfer(result.size_bytes)
-            current = result.value(family, qualifier)
-        if current != expected:
-            return False
-        ts = self.cluster.next_timestamp()
-        server.apply_put(region, put.row, put.cells, ts)
-        return True
+        server = self.cluster.server_for(region)
+        ctx = self._enter_server(server)
+        try:
+            # the read half of the RMW pays what a Get pays: a server-
+            # side seek plus, when the row exists, row materialization
+            # and the compared bytes over the wire
+            server.charge.seek()
+            result = region.read_row(row, [(family, qualifier)])
+            current = None
+            if result is not None:
+                server.charge.rows_read(1)
+                self.charge.transfer(result.size_bytes)
+                current = result.value(family, qualifier)
+            if current != expected:
+                return False
+            ts = self.cluster.next_timestamp()
+            server.apply_put(region, put.row, put.cells, ts)
+            return True
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     # -- scans -------------------------------------------------------------------------
     def scan(self, op: Scan | None = None) -> Iterator[Result]:
@@ -182,6 +286,13 @@ class HTable:
         ``scan_batch_rows`` rows transferred; server-side per-row read
         work for every row *examined* (filtered and deleted rows still
         cost reads).
+
+        The region to read next is resolved lazily against the live
+        layout, and the cursor tracks the next undelivered row key: when
+        a region splits under the open scanner the client pays one meta
+        round trip and reopens on the daughter that owns the cursor, so
+        the merged stream crosses split boundaries without dropping or
+        repeating rows.
         """
         op = op or Scan()
         batch_size = self.cluster.config.cost.scan_batch_rows
@@ -193,40 +304,70 @@ class HTable:
         charge_rpc = self.charge.rpc
         charge_transfer = self.charge.transfer
         size_bytes_of = Result.size_bytes.fget  # skip descriptor per row
-        for region in self.desc.regions_overlapping(op.start_row, op.stop_row or None):
+        sim = self.cluster.sim
+        cursor = op.start_row  # next row key still to be examined
+        stop_row = op.stop_row or None
+        while True:
+            if not self.desc.regions:  # dropped table, stale handle
+                return
+            # regions tile the key space, so the next region to read is
+            # a single O(log R) lookup, not a pass over the region list
+            region = self.desc.region_for(cursor)
+            if stop_row is not None and region.start_key >= stop_row:
+                return
             server = self.cluster.server_for(region)
+            ctx = self._enter_server(server)
             charge_rpc()  # open scanner on this region
             server.charge.seek()
             row_read = server.charge.row_read
             batch_rows = 0
             batch_bytes = 0
-            start = max(op.start_row, region.start_key)
-            stop = _min_stop(op.stop_row, region.end_key)
-            for _, result in region.scan(
-                start, stop, wanted, op.max_versions, op.time_range
-            ):
-                row_read()
-                if result is None:
-                    continue
-                if scan_filter is not None and not scan_filter.accept(result):
-                    continue
-                batch_rows += 1
-                batch_bytes += size_bytes_of(result)
-                if batch_rows >= batch_size:
-                    charge_rpc()
-                    charge_transfer(batch_bytes)
-                    batch_rows = 0
-                    batch_bytes = 0
-                emitted += 1
-                yield result
-                if not unlimited and emitted >= limit:
-                    if batch_rows:
+            start = max(cursor, region.start_key)
+            stop = _min_stop(stop_row, region.end_key)
+            relocate = False
+            # the finally settles this region window on every exit —
+            # normal completion, limit reached, split relocation, crash,
+            # and a consumer abandoning the generator mid-iteration
+            try:
+                for key, result in region.scan(
+                    start, stop, wanted, op.max_versions, op.time_range
+                ):
+                    cursor = key + b"\x00"  # resume point past this row
+                    row_read()
+                    if result is None:
+                        continue
+                    if scan_filter is not None and not scan_filter.accept(result):
+                        continue
+                    batch_rows += 1
+                    batch_bytes += size_bytes_of(result)
+                    if batch_rows >= batch_size:
                         charge_rpc()
                         charge_transfer(batch_bytes)
-                    return
-            if batch_rows:
-                charge_rpc()
-                charge_transfer(batch_bytes)
+                        batch_rows = 0
+                        batch_bytes = 0
+                    emitted += 1
+                    yield result
+                    if not unlimited and emitted >= limit:
+                        return
+            except RegionUnavailableError:
+                # re-raises a crash; on a split: drops the cached
+                # location and pays the meta round trip, after which we
+                # reopen at the cursor on the owning daughter
+                self._relocate(region)
+                relocate = True
+            finally:
+                if batch_rows:  # rows yielded so far were delivered
+                    charge_rpc()
+                    charge_transfer(batch_bytes)
+                if ctx is not None:
+                    ctx.serial_exit((server,), sim)
+            if relocate:
+                continue
+            if region.end_key is None or (
+                stop_row is not None and region.end_key >= stop_row
+            ):
+                return
+            cursor = region.end_key
 
     def scan_all(self, op: Scan | None = None) -> list[Result]:
         return list(self.scan(op))

@@ -4,6 +4,14 @@ The master creates tables (optionally pre-split), assigns regions
 round-robin across region servers, and recovers regions from a crashed
 server by re-opening them elsewhere and replaying the WAL — the same
 fault-tolerance story the paper's HBase layer provides.
+
+Scale-out duties live here too: size-triggered mid-key region splits
+(daughters inherit store contents as zero-copy views and open on the
+parent's server, as in real HBase), explicit server addition, and the
+:class:`RegionBalancer`, which redistributes regions across servers
+under a round-robin or load-aware policy. Every policy decision is a
+pure function of the cluster state plus a SimRNG stream derived from
+the cluster seed, so rebalancing is bit-reproducible.
 """
 
 from __future__ import annotations
@@ -11,10 +19,17 @@ from __future__ import annotations
 import bisect
 
 from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
-from repro.errors import TableExistsError, TableNotFoundError
+from repro.errors import (
+    HBaseError,
+    RegionSplitError,
+    RegionUnavailableError,
+    TableExistsError,
+    TableNotFoundError,
+)
 from repro.hbase.region import Region
 from repro.hbase.regionserver import RegionServer
 from repro.sim.clock import Simulation
+from repro.sim.rng import derive_rng
 
 
 class TableDescriptor:
@@ -56,19 +71,6 @@ class TableDescriptor:
             f"no region for row {row!r} in table {self.name}"
         )  # pragma: no cover - regions always tile the key space
 
-    def regions_overlapping(
-        self, start: bytes, stop: bytes | None
-    ) -> list[Region]:
-        out = []
-        for region in self.regions:
-            if stop is not None and region.start_key >= stop:
-                continue
-            if region.end_key is not None and region.end_key <= start:
-                continue
-            out.append(region)
-        return out
-
-
 class HBaseCluster:
     """Owns region servers and table metadata; issues timestamps."""
 
@@ -86,6 +88,8 @@ class HBaseCluster:
         self._ts = 0
         self._assign_cursor = 0
         self._region_host: dict[str, RegionServer] = {}
+        for server in self.servers:
+            server.on_region_grown = self._auto_split
 
     # -- timestamp oracle ----------------------------------------------------------
     def next_timestamp(self) -> int:
@@ -128,6 +132,7 @@ class HBaseCluster:
                 max_versions=max_versions,
                 kv_overhead_bytes=self.config.cost.kv_overhead_bytes,
                 flush_threshold_rows=self.config.hfile_flush_threshold_rows,
+                split_threshold_bytes=self.config.region_split_threshold_bytes,
             )
             regions.append(region)
             self._assign(region)
@@ -164,7 +169,86 @@ class HBaseCluster:
         self._region_host[region.name] = server
 
     def server_for(self, region: Region) -> RegionServer:
-        return self._region_host[region.name]
+        try:
+            return self._region_host[region.name]
+        except KeyError:
+            # a stale client handle addressing a region that left the
+            # meta table (split parent, dropped table): same failure the
+            # relocation retry handles for an offline region object
+            raise RegionUnavailableError(
+                f"region {region.name} is no longer hosted"
+            ) from None
+
+    def add_servers(self, n: int = 1) -> list[RegionServer]:
+        """Scale out: bring ``n`` fresh (empty) region servers online.
+        Existing regions stay put until a :class:`RegionBalancer` run
+        moves some of them over."""
+        fresh = []
+        for _ in range(n):
+            server = RegionServer(f"rs{len(self.servers) + 1}", self.sim)
+            server.on_region_grown = self._auto_split
+            self.servers.append(server)
+            fresh.append(server)
+        return fresh
+
+    def move_region(self, region: Region, target: RegionServer) -> bool:
+        """Reassign one region to ``target``. The source flushes the
+        region first (closing a region persists its memstore, so the
+        move carries no unflushed state and no WAL dependency across
+        servers). Returns False for a no-op move."""
+        source = self._region_host.get(region.name)
+        if source is None:
+            raise HBaseError(f"region {region.name} is not hosted")
+        if source is target:
+            return False
+        if not target.alive:
+            raise HBaseError(f"server {target.name} is down")
+        source.flush_region(region)
+        source.unhost(region.name)
+        target.host(region)
+        self._region_host[region.name] = target
+        return True
+
+    # -- region splitting -------------------------------------------------------------
+    def split_region(
+        self, region: Region, split_key: bytes | None = None
+    ) -> tuple[Region, Region]:
+        """Split ``region`` at ``split_key`` (default mid-key) and open
+        both daughters on the parent's server. The parent goes offline
+        and leaves the meta table; the descriptor's layout version moves
+        so client location caches re-resolve. Raises
+        :class:`~repro.errors.RegionSplitError` when the region cannot
+        be split (fewer than two rows, or an out-of-range key)."""
+        server = self._region_host.get(region.name)
+        if server is None:
+            raise HBaseError(f"region {region.name} is not hosted")
+        low, high = region.split(split_key)
+        server.unhost(region.name)
+        del self._region_host[region.name]
+        for daughter in (low, high):
+            server.host(daughter)
+            self._region_host[daughter.name] = server
+        desc = self.tables[region.table_name]
+        i = next(
+            idx for idx, r in enumerate(desc.regions) if r is region
+        )
+        desc.regions[i : i + 1] = [low, high]
+        desc.invalidate_locations()  # stale clients must re-resolve
+        return low, high
+
+    def _auto_split(self, region: Region) -> None:
+        """Size-trigger hook: split a grown region, recursively, until
+        every daughter is below the threshold or refuses to split."""
+        queue = [region]
+        while queue:
+            r = queue.pop()
+            threshold = r.split_threshold_bytes
+            if threshold is None or r._approx_size_bytes < threshold:
+                continue
+            try:
+                queue.extend(self.split_region(r))
+            except RegionSplitError:
+                continue  # a hot single-row region just keeps growing
 
     def region_distribution(self) -> dict[str, int]:
         """server name -> hosted region count (for balance checks)."""
@@ -189,12 +273,26 @@ class HBaseCluster:
                 max_versions=old.max_versions,
                 kv_overhead_bytes=old.kv_overhead_bytes,
                 flush_threshold_rows=old.flush_threshold_rows,
+                split_threshold_bytes=old.split_threshold_bytes,
+                # the fresh incarnation has a new region id: route the
+                # dead server's log to it by lineage + key range
+                wal_ancestry=old.wal_ancestry + (old.name,),
             )
             fresh.hfiles = list(old.hfiles)  # HFiles live on HDFS
-            fresh._approx_size_bytes = old._approx_size_bytes
+            # seed the size from the surviving store files only (the
+            # memstore is empty here): the WAL replay below re-accrues
+            # the unflushed rows, so copying the old total would count
+            # them twice — and a double-counted size trips the split
+            # threshold spuriously
+            fresh._approx_size_bytes = fresh._component_size_bytes()
             dead.replay_wal_into(fresh)
             del self._region_host[region_name]
             self._assign(fresh)
+            # persist the recovered edits on the new host: they exist
+            # only in the fresh memstore here, and the dead server's
+            # log is gone after failover — without this flush a second
+            # crash would silently lose them
+            self.server_for(fresh).flush_region(fresh)
             # swap the region object inside the table descriptor
             desc = self.tables[old.table_name]
             desc.regions = [
@@ -220,3 +318,118 @@ class HBaseCluster:
 
     def table_row_count(self, name: str) -> int:
         return sum(r.row_count() for r in self.descriptor(name).regions)
+
+
+class RegionBalancer:
+    """Redistributes regions across the cluster's live region servers.
+
+    Two policies:
+
+    * ``"round-robin"`` deals the regions (in (table, start key) order)
+      cyclically across the live servers, starting at a SimRNG-drawn
+      offset — the classic HBase simple balancer.
+    * ``"load-aware"`` greedily moves the best-fitting region from the
+      most-loaded to the least-loaded server (load = approximate region
+      bytes) while doing so shrinks the spread — a size-weighted
+      balancer that evens out skewed post-split layouts.
+
+    Both are deterministic: ordering is by stable sort keys and the only
+    arbitrary choice (the round-robin offset) comes from a RNG stream
+    derived from the cluster seed, so repeated runs move the same
+    regions to the same servers.
+    """
+
+    def __init__(self, cluster: HBaseCluster, policy: str = "load-aware") -> None:
+        if policy not in ("round-robin", "load-aware"):
+            raise ValueError(f"unknown balancer policy: {policy}")
+        self.cluster = cluster
+        self.policy = policy
+        self._rng = derive_rng(cluster.config.seed, "region-balancer")
+
+    # -- shared helpers ----------------------------------------------------------------
+    def _live_servers(self) -> list[RegionServer]:
+        return [s for s in self.cluster.servers if s.alive]
+
+    def _hosted_regions(self) -> list[Region]:
+        """Every hosted region, in a stable deterministic order."""
+        regions = []
+        for desc in self.cluster.tables.values():
+            regions.extend(desc.regions)
+        regions.sort(key=lambda r: (r.table_name, r.start_key))
+        return regions
+
+    def rebalance(self) -> int:
+        """Run the active policy; returns the number of regions moved.
+        Tables whose regions moved get their layout version bumped, so
+        client relocation caches re-resolve instead of talking to the
+        old host."""
+        servers = self._live_servers()
+        if len(servers) < 2:
+            return 0
+        if self.policy == "round-robin":
+            moves = self._round_robin_moves(servers)
+        else:
+            moves = self._load_aware_moves(servers)
+        moved_tables = set()
+        moved = 0
+        for region, target in moves:
+            if self.cluster.move_region(region, target):
+                moved += 1
+                moved_tables.add(region.table_name)
+        for table in sorted(moved_tables):
+            self.cluster.tables[table].invalidate_locations()
+        return moved
+
+    # -- policies ----------------------------------------------------------------------
+    def _round_robin_moves(
+        self, servers: list[RegionServer]
+    ) -> list[tuple[Region, RegionServer]]:
+        regions = [
+            # a dead server's regions belong to master recovery, not
+            # the balancer: moving needs a flush the host cannot serve
+            r for r in self._hosted_regions()
+            if self.cluster.server_for(r).alive
+        ]
+        offset = int(self._rng.integers(len(servers)))
+        return [
+            (region, servers[(offset + i) % len(servers)])
+            for i, region in enumerate(regions)
+        ]
+
+    def _load_aware_moves(
+        self, servers: list[RegionServer]
+    ) -> list[tuple[Region, RegionServer]]:
+        server_for = self.cluster.server_for
+        load: dict[str, int] = {s.name: 0 for s in servers}
+        hosted: dict[str, list[Region]] = {s.name: [] for s in servers}
+        by_name = {s.name: s for s in servers}
+        for region in self._hosted_regions():
+            host = server_for(region)
+            if host.name in load:
+                # count every region as at least one byte so empty
+                # regions still spread instead of piling on one server
+                load[host.name] += max(region.approx_size_bytes, 1)
+                hosted[host.name].append(region)
+        moves: list[tuple[Region, RegionServer]] = []
+        while True:
+            names = sorted(load)
+            hi = max(names, key=lambda n: (load[n], n))
+            lo = min(names, key=lambda n: (load[n], n))
+            gap = load[hi] - load[lo]
+            if gap <= 0 or not hosted[hi]:
+                break
+            # the region whose size is closest to half the gap shrinks
+            # the spread the most; ties break on the stable sort order
+            candidate = min(
+                hosted[hi],
+                key=lambda r: abs(max(r.approx_size_bytes, 1) - gap / 2),
+            )
+            size = max(candidate.approx_size_bytes, 1)
+            if size >= gap:  # moving it would just flip the imbalance
+                break
+            hosted[hi].remove(candidate)
+            hosted[lo].append(candidate)
+            load[hi] -= size
+            load[lo] += size
+            moves.append((candidate, by_name[lo]))
+        return moves

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
-from repro.errors import RegionUnavailableError
+from repro.errors import RegionSplitError, RegionUnavailableError
 from repro.hbase.cell import Result
 from repro.hbase.store import (
     CellKey,
@@ -20,6 +20,8 @@ from repro.hbase.store import (
 class Region:
     """Hosts rows with ``start_key <= row < end_key`` (empty bounds = open)."""
 
+    _seq = 0  # process-wide region id (names stay unique across splits)
+
     def __init__(
         self,
         table_name: str,
@@ -28,17 +30,28 @@ class Region:
         max_versions: int = 1,
         kv_overhead_bytes: int = 24,
         flush_threshold_rows: int = 50_000,
+        split_threshold_bytes: int | None = None,
+        wal_ancestry: tuple[str, ...] = (),
     ) -> None:
+        Region._seq += 1
+        self.region_id = Region._seq
         self.table_name = table_name
         self.start_key = start_key
         self.end_key = end_key
         self.max_versions = max_versions
         self.kv_overhead_bytes = kv_overhead_bytes
         self.flush_threshold_rows = flush_threshold_rows
+        self.split_threshold_bytes = split_threshold_bytes
+        self.wal_ancestry = wal_ancestry
+        """Names of the regions this one inherited unflushed data from
+        (split parents, pre-recovery incarnations): WAL entries recorded
+        under those names are routed here by key range on flush
+        truncation and on crash replay."""
         self.memstore = MemStore()
         self.hfiles: list[HFile] = []
         self.online = True
-        self.name = f"{table_name},{start_key.hex() or '-'}"
+        self.split_daughters: "tuple[Region, Region] | None" = None
+        self.name = f"{table_name},{start_key.hex() or '-'},{self.region_id}"
         self._approx_size_bytes = 0
 
     # -- bookkeeping -----------------------------------------------------------
@@ -145,6 +158,79 @@ class Region:
             if key != last:
                 last = key
                 yield key
+
+    # -- splitting ---------------------------------------------------------------
+    def midpoint_key(self) -> bytes | None:
+        """The median distinct row key — the natural mid-key split
+        point. None when the region holds fewer than two distinct rows
+        (such a region cannot be split)."""
+        keys = list(self.iter_keys(self.start_key, self.end_key))
+        if len(keys) < 2:
+            return None
+        return keys[len(keys) // 2]
+
+    def split(self, split_key: bytes | None = None) -> "tuple[Region, Region]":
+        """Split into two daughter regions at ``split_key`` (default:
+        the mid-key). Daughters inherit the memstore and store files as
+        zero-copy views — row entries and cell payloads are shared by
+        reference, only key containers are partitioned — and record this
+        region's name in their WAL ancestry so log entries written
+        before the split keep finding their rows. The parent goes
+        offline; open scans fail over to the daughters via the client's
+        relocation path."""
+        self._check_online()
+        if split_key is None:
+            split_key = self.midpoint_key()
+            if split_key is None:
+                raise RegionSplitError(
+                    f"region {self.name} holds fewer than two rows; "
+                    "refusing to split"
+                )
+        if not (self.start_key < split_key and self.contains(split_key)):
+            raise RegionSplitError(
+                f"split key {split_key!r} is not strictly inside "
+                f"region {self.name}"
+            )
+        ancestry = self.wal_ancestry + (self.name,)
+
+        def daughter(start: bytes, end: bytes | None) -> Region:
+            return Region(
+                table_name=self.table_name,
+                start_key=start,
+                end_key=end,
+                max_versions=self.max_versions,
+                kv_overhead_bytes=self.kv_overhead_bytes,
+                flush_threshold_rows=self.flush_threshold_rows,
+                split_threshold_bytes=self.split_threshold_bytes,
+                wal_ancestry=ancestry,
+            )
+
+        low = daughter(self.start_key, split_key)
+        high = daughter(split_key, self.end_key)
+        low.memstore, high.memstore = self.memstore.split(split_key)
+        for hfile in self.hfiles:
+            bottom, top = hfile.split_view(split_key)
+            if bottom is not None:
+                low.hfiles.append(bottom)
+            if top is not None:
+                high.hfiles.append(top)
+        low._approx_size_bytes = low._component_size_bytes()
+        high._approx_size_bytes = high._component_size_bytes()
+        self.online = False
+        self.split_daughters = (low, high)
+        return low, high
+
+    def _component_size_bytes(self) -> int:
+        """Exact byte size summed over every store component (the same
+        per-cell accounting the write path accrues approximately)."""
+        overhead = self.kv_overhead_bytes
+        total = 0
+        for row, entry in self.memstore.items():
+            total += entry.size_bytes(row, overhead)
+        for hfile in self.hfiles:
+            for row, entry in hfile.items():
+                total += entry.size_bytes(row, overhead)
+        return total
 
     # -- flush & compaction ------------------------------------------------------
     def flush(self) -> HFile | None:

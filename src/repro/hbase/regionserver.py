@@ -19,6 +19,9 @@ class RegionServer:
         self.regions: dict[str, Region] = {}
         self.wal = WriteAheadLog()
         self.alive = True
+        self.on_region_grown = None
+        """Master hook (set by the cluster): called with a region whose
+        approximate size crossed its split threshold after a write."""
 
     def _check_alive(self) -> None:
         if not self.alive:
@@ -48,6 +51,7 @@ class RegionServer:
         self.charge.rows_written(1)
         if len(region.memstore) >= region.flush_threshold_rows:
             self.flush_region(region)
+        self._maybe_split(region)
 
     def apply_puts(
         self,
@@ -120,6 +124,9 @@ class RegionServer:
                     entries = memstore._entries
                     wal_buffer_append = wal.buffer_for(region_name).append
         region._approx_size_bytes += size_delta
+        # split check once per batch, at a safe point: splitting inside
+        # the loop would offline the region the remaining puts target
+        self._maybe_split(region)
 
     def apply_delete(
         self,
@@ -134,10 +141,23 @@ class RegionServer:
         region.delete_row(row, columns, ts)
         self.charge.rows_written(1)
 
+    def _maybe_split(self, region: Region) -> None:
+        threshold = region.split_threshold_bytes
+        if (
+            threshold is not None
+            and region._approx_size_bytes >= threshold
+            and self.on_region_grown is not None
+        ):
+            self.on_region_grown(region)
+
     def flush_region(self, region: Region) -> None:
         self._check_alive()
         region.flush()
         self.wal.truncate(region.name)
+        # rows this region inherited unflushed from split ancestors are
+        # now persisted too: drop this key range from the ancestors' logs
+        for ancestor in region.wal_ancestry:
+            self.wal.truncate_range(ancestor, region.start_key, region.end_key)
 
     # -- failure simulation -----------------------------------------------------------
     def crash(self) -> None:
@@ -147,8 +167,21 @@ class RegionServer:
             region.online = False
 
     def replay_wal_into(self, region: Region) -> int:
-        """Re-apply logged mutations (idempotent); returns entries replayed."""
-        entries = self.wal.entries_for(region.name)
+        """Re-apply logged mutations (idempotent); returns entries replayed.
+
+        Entries are routed by the region's *current key range*, not the
+        region id they were recorded under: a write logged against a
+        region that split (possibly repeatedly) since the write is
+        replayed into whichever daughter now owns its row. Ancestor
+        entries predate the region's own, so they replay first."""
+        entries: list = []
+        for ancestor in region.wal_ancestry:
+            entries.extend(
+                self.wal.entries_for_range(
+                    ancestor, region.start_key, region.end_key
+                )
+            )
+        entries.extend(self.wal.entries_for(region.name))
         for e in entries:
             if e.kind == "put":
                 region.put_row(e.row, e.payload, e.timestamp)

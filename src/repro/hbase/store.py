@@ -187,6 +187,21 @@ class MemStore:
     ) -> Iterator[tuple[bytes, RowEntry]]:
         return _range_cursor(self._ensure_sorted(), self._entries, start, stop)
 
+    def split(self, split_key: bytes) -> tuple["MemStore", "MemStore"]:
+        """Partition into two memstores at ``split_key`` (low half gets
+        rows < split_key). The :class:`RowEntry` objects — and with them
+        every cell payload — are handed over by reference; only the key
+        containers are rebuilt."""
+        keys = self._ensure_sorted()
+        idx = bisect.bisect_left(keys, split_key)
+        entries = self._entries
+        low, high = MemStore(), MemStore()
+        low._sorted_keys = keys[:idx]
+        low._entries = {k: entries[k] for k in low._sorted_keys}
+        high._sorted_keys = keys[idx:]
+        high._entries = {k: entries[k] for k in high._sorted_keys}
+        return low, high
+
     def take_frozen(self) -> tuple[list[bytes], dict[bytes, RowEntry]]:
         """Hand the current generation (sorted keys + entries) to a flush
         and re-arm empty. Snapshots taken before the flush stay valid
@@ -230,7 +245,28 @@ class HFile:
         return self._entries.get(row)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # a split view shares the full entry dict but only covers its
+        # sorted-key slice, so the key list is the truthful row count
+        return len(self._sorted_keys)
+
+    def split_view(
+        self, split_key: bytes
+    ) -> tuple["HFile | None", "HFile | None"]:
+        """Reference files for a region split: two HFiles sharing this
+        file's entry dict wholesale (zero payload copies), each covering
+        one side of ``split_key`` via a sliced key list. A side with no
+        rows is returned as None. Point lookups through a view rely on
+        the region routing layer only asking for rows inside the view's
+        range — exactly the contract real HBase reference files have."""
+        keys = self._sorted_keys
+        idx = bisect.bisect_left(keys, split_key)
+        bottom = HFile(self._entries, sorted_keys=keys[:idx]) if idx else None
+        top = (
+            HFile(self._entries, sorted_keys=keys[idx:])
+            if idx < len(keys)
+            else None
+        )
+        return bottom, top
 
     def keys_in_range(self, start: bytes, stop: bytes | None) -> Iterator[bytes]:
         for key, _ in self.items_in_range(start, stop):

@@ -68,9 +68,46 @@ class WriteAheadLog:
     def entries_for(self, region_name: str) -> list[WalEntry]:
         return list(self._entries.get(region_name, ()))
 
+    def entries_for_range(
+        self,
+        region_name: str,
+        start: bytes,
+        stop: bytes | None,
+    ) -> list[WalEntry]:
+        """Entries logged under ``region_name`` whose row falls in
+        ``[start, stop)`` — how a region that split since the write
+        recovers its half of an ancestor's log."""
+        return [
+            e
+            for e in self._entries.get(region_name, ())
+            if e.row >= start and (stop is None or e.row < stop)
+        ]
+
     def truncate(self, region_name: str) -> None:
         """Discard entries persisted by a memstore flush."""
         self._entries.pop(region_name, None)
+
+    def truncate_range(
+        self,
+        region_name: str,
+        start: bytes,
+        stop: bytes | None,
+    ) -> None:
+        """Drop the ``[start, stop)`` slice of one region's buffer: when
+        a daughter region flushes, the rows it just persisted must also
+        leave the log its split ancestors wrote them to."""
+        buffer = self._entries.get(region_name)
+        if not buffer:
+            return
+        kept = [
+            e
+            for e in buffer
+            if e.row < start or (stop is not None and e.row >= stop)
+        ]
+        if kept:
+            self._entries[region_name] = kept
+        else:
+            del self._entries[region_name]
 
     def pending_count(self, region_name: str | None = None) -> int:
         if region_name is not None:

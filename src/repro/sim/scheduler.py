@@ -182,6 +182,32 @@ class ConcurrencyContext:
             if until_ms > current:
                 self._serial_busy_until[resource] = until_ms
 
+    def serial_enter(
+        self,
+        resources: Iterable[Any],
+        sim,
+        metric: str = "hbase.queue_wait",
+    ) -> None:
+        """Queue the running client behind ``resources`` (advance its
+        clock past any busy window) before it starts an operation on
+        them. Pair with :meth:`serial_exit` when the operation's charges
+        are done. This is how per-partition work routes to the owning
+        region server: operations on regions hosted by different
+        servers overlap in virtual time, operations on the same server
+        serialize — so adding servers genuinely parallelizes."""
+        clock = sim.clock
+        delay = self.serial_delay_ms(resources, clock.now_ms)
+        if delay > 0:
+            # queueing delay, not work: bypass jitter, advance exactly
+            clock.advance(delay)
+            sim.metrics.timer(metric).record(delay)
+
+    def serial_exit(self, resources: Iterable[Any], sim) -> None:
+        """Mark ``resources`` busy until the running client's current
+        virtual time (the end of the charges made since
+        :meth:`serial_enter`)."""
+        self.serial_occupy(resources, sim.clock.now_ms)
+
 
 @dataclass
 class SchedulerReport:

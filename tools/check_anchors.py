@@ -1,0 +1,67 @@
+"""Fail when simulated-latency anchors drift from a committed baseline.
+
+Usage::
+
+    python tools/check_anchors.py CURRENT.json BASELINE.json
+
+Compares the Fig. 10-14 and Table II simulated-latency statistics of a
+freshly emitted ``repro.bench`` trajectory against the committed
+baseline (``BENCH_PR1.json``). Every (experiment, series, x) point
+present in *both* files must match bit-for-bit: these numbers are pure
+virtual time derived from seeded draws, so any difference means an
+engine change altered the simulated cost model, not noise. Points only
+one side measured (e.g. a reduced ``--micro-scales`` sweep) are skipped
+but counted, so the job log shows the coverage.
+"""
+
+import json
+import sys
+
+ANCHOR_EXPERIMENTS = ("Fig10a", "Fig10b", "Fig11", "Fig12", "Fig14", "TableII")
+
+
+def compare(current: dict, baseline: dict) -> int:
+    checked = skipped = 0
+    failures = []
+    for experiment in ANCHOR_EXPERIMENTS:
+        cur = current.get("experiments", {}).get(experiment)
+        base = baseline.get("experiments", {}).get(experiment)
+        if cur is None or base is None:
+            skipped += 1
+            continue
+        for label, points in cur["series"].items():
+            base_points = base["series"].get(label, {})
+            for x, stat in points.items():
+                base_stat = base_points.get(x)
+                if base_stat is None:
+                    skipped += 1
+                    continue
+                checked += 1
+                if stat != base_stat:
+                    failures.append(f"{experiment}/{label}/{x}: {stat} != {base_stat}")
+    print(f"anchors checked: {checked}, skipped (not in both runs): {skipped}")
+    if not checked:
+        print("error: no overlapping anchor points found", file=sys.stderr)
+        return 2
+    for failure in failures:
+        print(f"DRIFT: {failure}", file=sys.stderr)
+    if failures:
+        print(f"error: {len(failures)} anchor value(s) drifted", file=sys.stderr)
+        return 1
+    print("all overlapping anchor values are bit-identical")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[0]) as f:
+        current = json.load(f)
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    return compare(current, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
