@@ -9,11 +9,15 @@ metric). ``--baseline-json PATH`` merges a previously emitted file in
 as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
-storage, concurrency``) — handy for quick perf checks.
+storage, concurrency, scaleout, faults``) — handy for quick perf
+checks.
 
-``--only concurrency --emit-json`` emits a fully deterministic
-trajectory (virtual-time metrics only, no wall-clock entries): two runs
-with the same seed produce byte-identical JSON.
+``--only concurrency --emit-json`` (likewise ``scaleout`` and
+``faults``) emits a fully deterministic trajectory (virtual-time
+metrics only, no wall-clock entries): two runs with the same seed
+produce byte-identical JSON. The ``faults`` experiment additionally
+verifies the chaos invariants (no acked write lost, no scan
+duplication/loss) and aborts on any violation.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import time
 
 from repro.bench.experiments import (
     run_concurrency,
+    run_faults,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -40,7 +45,7 @@ from repro.bench.tpcw_lab import TpcwLab
 
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
-    "table2", "table3", "concurrency", "scaleout",
+    "table2", "table3", "concurrency", "scaleout", "faults",
 )
 
 
@@ -73,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scaleout-ops", type=int, default=60,
                         help="operations per virtual client in the "
                              "scale-out experiment")
+    parser.add_argument("--crash-cycles", type=str, default="0,1,2,4",
+                        help="comma-separated crash/recover cycle counts "
+                             "for the fault-injection experiment")
+    parser.add_argument("--faults-clients", type=str, default="4,8",
+                        help="comma-separated client counts for the "
+                             "fault-injection experiment")
+    parser.add_argument("--faults-ops", type=int, default=64,
+                        help="operations per virtual client in the "
+                             "fault-injection experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -168,6 +182,27 @@ def main(argv: list[str] | None = None) -> int:
             server_counts,
             scaleout_clients,
             ops_per_client=args.scaleout_ops,
+            progress=say,
+        ).values():
+            record(r)
+    if "faults" in selected:
+        # chaos trajectory: virtual-time metrics only, never wall-clock
+        # timed, so the emitted JSON is byte-identical across runs; any
+        # durability/scan-consistency invariant violation aborts the run
+        cycle_counts = tuple(
+            int(s)
+            for s in args.crash_cycles.split(",")
+            if s.strip() and int(s) >= 0
+        )
+        faults_clients = tuple(
+            int(s)
+            for s in args.faults_clients.split(",")
+            if s.strip() and int(s) > 0
+        )
+        for r in run_faults(
+            cycle_counts,
+            faults_clients,
+            ops_per_client=args.faults_ops,
             progress=say,
         ).values():
             record(r)

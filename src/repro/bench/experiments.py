@@ -19,6 +19,7 @@ from repro.config import ClusterConfig, CostModel, DEFAULT_COST_MODEL
 from repro.hbase.client import HBaseClient, HTable
 from repro.hbase.cluster import HBaseCluster, RegionBalancer
 from repro.sim.clock import Simulation
+from repro.sim.faults import FaultConfig, run_chaos_cell
 from repro.sim.rng import derive_rng
 from repro.sim.scheduler import DeterministicScheduler, percentile, run_transaction
 from repro.synergy.locks import LockBatch
@@ -670,6 +671,147 @@ def run_scaleout(
         for note in layout_notes:
             r.note(note)
     return results
+
+
+# ------------------------------------------------------------ fault injection
+def run_faults(
+    cycle_counts: tuple[int, ...] = (0, 1, 2, 4),
+    client_counts: tuple[int, ...] = (4, 8),
+    ops_per_client: int = 64,
+    num_servers: int = 3,
+    preload_rows: int = 240,
+    chaos_horizon_ms: float = 160.0,
+    seed: int = 20170904,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Chaos sweep: crash rate (crash/recover cycles) x client count.
+
+    Every cell preloads the same pre-split table and drives N chaos
+    clients (put/get/scan with bounded failover retry) while the
+    deterministic fault injector crashes, fails over and restarts
+    region servers at seeded virtual timestamps. The requested cycle
+    count is compressed into a fixed ``chaos_horizon_ms`` window, so
+    the x-axis is a genuine crash *rate*: more cycles = denser faults
+    over the same workload, not extra faults after it ended. Reported
+    per cell: committed ops per virtual second, p99 op response time
+    (failover stalls included), and the mean client-observed recovery
+    stall. A cell with any durability/scan-consistency invariant
+    violation aborts the experiment — chaos is a correctness gate, not
+    just a perf curve. Everything derives from virtual time and seeded
+    draws: reruns are byte-identical.
+    """
+    say = progress or (lambda _m: None)
+    results = {
+        "throughput": ExperimentResult(
+            "FaultsThroughput",
+            "Committed ops per second vs injected crash/recover cycles",
+            "crash cycles",
+            unit="ops/s (virtual)",
+        ),
+        "p99": ExperimentResult(
+            "FaultsP99",
+            "99th percentile op response time vs injected crash cycles",
+            "crash cycles",
+        ),
+        "recovery": ExperimentResult(
+            "FaultsRecovery",
+            "Mean client-observed failover stall vs injected crash cycles",
+            "crash cycles",
+        ),
+    }
+    for r in results.values():
+        r.x_values = list(cycle_counts)
+    series = {
+        metric: {n: r.add_series(f"{n} clients") for n in client_counts}
+        for metric, r in results.items()
+    }
+    chaos_notes: list[str] = []
+    for clients in client_counts:
+        for cycles in cycle_counts:
+            say(f"[faults] {cycles} crash cycles x {clients} clients")
+            run = run_chaos_cell(
+                num_servers=num_servers,
+                clients=clients,
+                ops_per_client=ops_per_client,
+                preload_rows=preload_rows,
+                fault_config=FaultConfig(
+                    cycles=cycles,
+                    first_crash_ms=25.0,
+                    crash_interval_ms=chaos_horizon_ms / max(cycles, 1),
+                ),
+                seed=seed,
+            )
+            if run.violations:
+                raise RuntimeError(
+                    f"chaos cell ({cycles} cycles, {clients} clients) "
+                    f"violated invariants: {run.violations}"
+                )
+            report = run.report
+            throughput = (
+                report.committed / (report.makespan_ms / 1000.0)
+                if report.makespan_ms > 0 else 0.0
+            )
+            rts = report.response_times
+            stalls = run.history.stalls_ms
+            series["throughput"][clients].set(
+                cycles, Stat(throughput, 0.0, 1)
+            )
+            series["p99"][clients].set(
+                cycles,
+                Stat(percentile(rts, 0.99) if rts else 0.0, 0.0, len(rts)),
+            )
+            series["recovery"][clients].set(
+                cycles,
+                Stat(
+                    sum(stalls) / len(stalls) if stalls else 0.0,
+                    0.0,
+                    len(stalls),
+                ),
+            )
+            if clients == client_counts[-1]:
+                h = run.history
+                chaos_notes.append(
+                    f"{cycles} cycles @ {clients} clients: {h.crash_count} "
+                    f"crashes, {h.regions_recovered} regions recovered, "
+                    f"{h.failover_retries} failover retries, "
+                    f"{len(stalls)} stalled ops, 0 invariant violations"
+                )
+    config_note = (
+        f"{num_servers} servers, {preload_rows} preloaded rows, "
+        f"{ops_per_client} ops/client (55/30/15 put/get/scan), seed {seed}; "
+        "closed loop, bounded backoff-and-retry failover"
+    )
+    for r in results.values():
+        r.note(config_note)
+        for note in chaos_notes:
+            r.note(note)
+    return results
+
+
+def faults_smoke(
+    clients: int = 8,
+    cycles: int = 3,
+    ops_per_client: int = 32,
+    seed: int = 20170904,
+) -> dict[str, int]:
+    """CI smoke: one high-contention chaos cell; returns the fault and
+    invariant counters (the job asserts real crash/recover cycles were
+    ridden out with zero violations)."""
+    run = run_chaos_cell(
+        clients=clients,
+        ops_per_client=ops_per_client,
+        fault_config=FaultConfig(cycles=cycles),
+        seed=seed,
+    )
+    return {
+        "crashes": run.history.crash_count,
+        "recoveries": run.history.recover_count + run.quiesce_recoveries,
+        "regions_recovered": run.history.regions_recovered,
+        "failover_retries": run.history.failover_retries,
+        "stalled_ops": len(run.history.stalls_ms),
+        "committed": run.report.committed,
+        "violations": len(run.violations),
+    }
 
 
 # --------------------------------------------------------------------- Table I

@@ -57,6 +57,21 @@ class RegionUnavailableError(HBaseError):
     """The region hosting a key is offline (simulated failure)."""
 
 
+class RegionRetriesExhaustedError(RegionUnavailableError):
+    """A client gave up relocating an operation: the addressed region
+    stayed unhosted/offline through the bounded meta-retry budget. A
+    subclass of :class:`RegionUnavailableError` so callers treating the
+    region as down keep working, while chaos harnesses can tell a
+    bounded give-up from a transient failure."""
+
+
+class ServerRecoveryError(HBaseError):
+    """Master failover misuse: recovering a region server that is still
+    alive, or one whose regions were already recovered. Both would
+    silently re-move regions (double recovery replays a WAL that was
+    already replayed elsewhere), so they are typed, hard failures."""
+
+
 class RegionSplitError(HBaseError):
     """A region cannot be split (too few rows, or the requested split
     key is not strictly inside the region's key range)."""

@@ -11,12 +11,19 @@ caching): point ops consult the last-hit region first and fall back to
 the table descriptor's binary search only on a range miss or when the
 descriptor's region layout version moved (split/drop/recovery). A
 cached location can still go stale *mid-operation* — a region can split
-between resolution and execution — in which case the op observes the
-offline parent, pays one extra meta round trip, re-resolves, and
-retries against the daughter (real HBase's NotServingRegionException
-dance). Scans do the same: a split under an open scanner makes the
-client reopen at the next undelivered row on whichever daughter now
-owns it, so one logical scan seamlessly crosses split boundaries.
+or fail over between resolution and execution — in which case the op
+observes the offline region, pays one extra meta round trip,
+re-resolves, and retries against the live successor (real HBase's
+NotServingRegionException dance). Scans do the same: a split or a
+completed recovery under an open scanner makes the client reopen at
+the next undelivered row on whichever region now owns it, so one
+logical scan seamlessly crosses split and failover boundaries. A
+region that is down with no successor yet (crashed, master recovery
+pending) propagates `RegionUnavailableError` to the caller — under a
+scheduled chaos run the client program backs off, yields and retries
+(see ``repro.sim.faults``) — and the per-operation relocation budget
+is bounded by ``MAX_LOCATION_RETRIES``, surfacing a typed
+`RegionRetriesExhaustedError` instead of an unbounded meta-retry loop.
 
 Under a multi-client scheduler (``sim.concurrency`` installed) every
 operation additionally queues on the region server that hosts the
@@ -30,7 +37,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
-from repro.errors import RegionUnavailableError
+from repro.errors import RegionRetriesExhaustedError, RegionUnavailableError
 from repro.hbase.cell import Result
 from repro.hbase.cluster import HBaseCluster
 from repro.hbase.ops import Delete, Get, Increment, Put, Scan
@@ -40,6 +47,12 @@ from repro.sim.latency import LatencyCharger
 
 class HTable:
     """Client-side view of one table."""
+
+    MAX_LOCATION_RETRIES = 16
+    """Relocations one operation may pay before giving up with a
+    :class:`~repro.errors.RegionRetriesExhaustedError` — bounds the
+    meta-retry loop when a key range keeps resolving to regions that
+    turn out to be unavailable (deep split chains, repeated failover)."""
 
     def __init__(self, cluster: HBaseCluster, name: str) -> None:
         self.cluster = cluster
@@ -65,13 +78,25 @@ class HTable:
         self._cached_version = self.desc.version
         return region
 
-    def _relocate(self, region: Region) -> None:
-        """A located region turned out to be offline mid-operation. If
-        it split, drop the cached location and pay one meta round trip
-        so the caller can retry against the daughters; anything else
-        (a crashed server) propagates — recovery is the master's job."""
+    def _relocate(self, region: Region, row: bytes) -> None:
+        """A located region turned out to be offline mid-operation.
+
+        When the meta table already knows a live successor for ``row``
+        — the region split (daughters own the range) or master failover
+        reopened it elsewhere (recovery swapped a fresh incarnation into
+        the descriptor) — drop the cached location and pay one meta
+        round trip so the caller retries against the successor. A region
+        that is down with *no* successor yet propagates unchanged:
+        recovery is the master's job, and waiting it out is the caller's
+        (a chaos client program backs off, yields to the scheduler and
+        retries — see ``repro.sim.faults``)."""
         if region.split_daughters is None:
-            raise  # noqa: PLE0704 - re-raise the active RegionUnavailableError
+            fresh = (
+                self.desc.region_for(row) if self.desc.regions else None
+            )
+            if fresh is None or fresh is region or not fresh.online:
+                # still down: nothing to relocate to yet
+                raise  # noqa: PLE0704 - re-raise the active RegionUnavailableError
         self._cached_region = None
         self.charge.rpc()  # meta lookup to refresh the location
 
@@ -86,13 +111,21 @@ class HTable:
 
     def _routed(self, row: bytes, op_at):
         """Run ``op_at(region)`` against the located region, retrying
-        through :meth:`_relocate` whenever the location was stale."""
-        while True:
+        through :meth:`_relocate` whenever the location was stale. The
+        retry budget is bounded: an operation that keeps resolving to
+        unavailable regions surfaces a typed
+        :class:`~repro.errors.RegionRetriesExhaustedError` instead of
+        looping on meta lookups forever."""
+        for _ in range(self.MAX_LOCATION_RETRIES):
             region = self._locate(row)
             try:
                 return op_at(region)
             except RegionUnavailableError:
-                self._relocate(region)
+                self._relocate(region, row)
+        raise RegionRetriesExhaustedError(
+            f"operation on row {row!r} of table {self.name} gave up "
+            f"after {self.MAX_LOCATION_RETRIES} relocation attempts"
+        )
 
     # -- point ops --------------------------------------------------------------------
     def get(self, op: Get) -> Result | None:
@@ -131,10 +164,20 @@ class HTable:
             if ctx is not None:
                 ctx.serial_exit((server,), self.cluster.sim)
 
-    def put_batch(self, ops: list[Put]) -> None:
-        """Buffered multi-put: one RPC per addressed region, WAL batched."""
+    def put_batch(self, ops: list[Put], _depth: int = 0) -> None:
+        """Buffered multi-put: one RPC per addressed region, WAL batched.
+
+        Relocation retries (a group's region splitting or failing over
+        under the batch) share the bounded budget point ops have:
+        re-dispatch depth past ``MAX_LOCATION_RETRIES`` surfaces a
+        typed :class:`~repro.errors.RegionRetriesExhaustedError`."""
         if not ops:
             return
+        if _depth >= self.MAX_LOCATION_RETRIES:
+            raise RegionRetriesExhaustedError(
+                f"put_batch on table {self.name} gave up after {_depth} "
+                "relocation attempts"
+            )
         regions = self.desc.regions
         if len(regions) == 1:
             # single-region table: every row lands there by definition
@@ -179,10 +222,11 @@ class HTable:
                     if ctx is not None:
                         ctx.serial_exit((server,), self.cluster.sim)
             except RegionUnavailableError:
-                # the group's region split under the batch: re-dispatch
-                # just these puts, regrouped against the fresh layout
-                self._relocate(region)
-                self.put_batch(puts)
+                # the group's region split (or failed over) under the
+                # batch: re-dispatch just these puts, regrouped against
+                # the fresh layout
+                self._relocate(region, puts[0].row)
+                self.put_batch(puts, _depth + 1)
 
     def delete(self, op: Delete) -> None:
         self._routed(op.row, lambda region: self._delete_at(region, op))
@@ -350,10 +394,12 @@ class HTable:
                     if not unlimited and emitted >= limit:
                         return
             except RegionUnavailableError:
-                # re-raises a crash; on a split: drops the cached
-                # location and pays the meta round trip, after which we
-                # reopen at the cursor on the owning daughter
-                self._relocate(region)
+                # re-raises an unrecovered crash; on a split or a
+                # completed recovery: drops the cached location and pays
+                # the meta round trip, after which we reopen at the
+                # cursor on the region now owning it — one logical scan
+                # crosses split *and* failover boundaries seamlessly
+                self._relocate(region, cursor)
                 relocate = True
             finally:
                 if batch_rows:  # rows yielded so far were delivered

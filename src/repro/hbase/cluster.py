@@ -23,6 +23,7 @@ from repro.errors import (
     HBaseError,
     RegionSplitError,
     RegionUnavailableError,
+    ServerRecoveryError,
     TableExistsError,
     TableNotFoundError,
 )
@@ -163,6 +164,10 @@ class HBaseCluster:
     def _assign(self, region: Region, server: RegionServer | None = None) -> None:
         if server is None:
             live = [s for s in self.servers if s.alive]
+            if not live:
+                raise HBaseError(
+                    f"no live region server to open {region.name} on"
+                )
             server = live[self._assign_cursor % len(live)]
             self._assign_cursor += 1
         server.host(region)
@@ -260,9 +265,23 @@ class HBaseCluster:
     # -- failure handling -----------------------------------------------------------
     def recover_server(self, dead: RegionServer) -> int:
         """Master failover: reopen the dead server's regions elsewhere,
-        replaying its WAL. Returns the number of regions recovered."""
+        replaying its WAL. Returns the number of regions recovered.
+
+        Guarded against misuse: recovering a live server would re-move
+        regions that are being served, and recovering a server twice
+        would replay a WAL whose edits already landed (and were flushed)
+        on the regions' new hosts — both raise
+        :class:`~repro.errors.ServerRecoveryError` instead of silently
+        corrupting the layout."""
         if dead.alive:
-            raise ValueError(f"server {dead.name} is alive")
+            raise ServerRecoveryError(
+                f"server {dead.name} is alive; refusing to recover it"
+            )
+        if dead.recovered:
+            raise ServerRecoveryError(
+                f"server {dead.name} was already recovered; its regions "
+                "are hosted elsewhere"
+            )
         recovered = 0
         for region_name in list(dead.regions):
             old = dead.unhost(region_name)
@@ -300,6 +319,7 @@ class HBaseCluster:
             ]
             desc.invalidate_locations()  # client caches must not reuse `old`
             recovered += 1
+        dead.recovered = True
         return recovered
 
     # -- stats ------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.errors import HBaseError
+from repro.errors import HBaseError, RegionUnavailableError
 from repro.hbase.region import Region
 from repro.hbase.wal import WalEntry, WriteAheadLog
 from repro.sim.clock import Simulation
@@ -19,13 +19,20 @@ class RegionServer:
         self.regions: dict[str, Region] = {}
         self.wal = WriteAheadLog()
         self.alive = True
+        self.recovered = False
+        """True once master failover has moved this (dead) server's
+        regions elsewhere; cleared when the server process restarts."""
         self.on_region_grown = None
         """Master hook (set by the cluster): called with a region whose
         approximate size crossed its split threshold after a write."""
 
     def _check_alive(self) -> None:
         if not self.alive:
-            raise HBaseError(f"region server {self.name} is down")
+            # the client-visible failure of talking to a crashed
+            # process: same relocation/retry path as an offline region
+            raise RegionUnavailableError(
+                f"region server {self.name} is down"
+            )
 
     def host(self, region: Region) -> None:
         self.regions[region.name] = region
@@ -42,8 +49,7 @@ class RegionServer:
         ts: int,
         charge_wal: bool = True,
     ) -> None:
-        if not self.alive:
-            raise HBaseError(f"region server {self.name} is down")
+        self._check_alive()
         self.wal.append(WalEntry(region.name, "put", row, list(cells), ts))
         if charge_wal:
             self.charge.wal_append()
@@ -65,8 +71,7 @@ class RegionServer:
         WAL entries, per-row charges and flush checks as per-put
         application, with the per-put lookup overhead hoisted out of
         the loop."""
-        if not self.alive:
-            raise HBaseError(f"region server {self.name} is down")
+        self._check_alive()
         region._check_online()  # single-threaded: cannot flip mid-batch
         wal = self.wal
         wal_buffer_append = wal.buffer_for(region.name).append
@@ -163,8 +168,21 @@ class RegionServer:
     def crash(self) -> None:
         """Lose all memstores; HFiles (on 'HDFS') and the WAL survive."""
         self.alive = False
+        self.recovered = False
         for region in self.regions.values():
             region.online = False
+
+    def restart(self) -> None:
+        """The crashed process rejoins the cluster as an empty server:
+        alive, hosting nothing, with a fresh WAL (its old log segments
+        were consumed — or deliberately abandoned — by master failover).
+        Only the master recovery path may move regions back onto it."""
+        if self.alive:
+            raise HBaseError(f"server {self.name} is already alive")
+        self.regions = {}
+        self.wal.clear()
+        self.alive = True
+        self.recovered = False
 
     def replay_wal_into(self, region: Region) -> int:
         """Re-apply logged mutations (idempotent); returns entries replayed.

@@ -109,6 +109,12 @@ class WriteAheadLog:
         else:
             del self._entries[region_name]
 
+    def clear(self) -> None:
+        """Drop every buffered entry (server restart after failover:
+        the old log was already replayed — or abandoned — elsewhere).
+        ``total_appends`` is lifetime accounting and survives."""
+        self._entries = {}
+
     def pending_count(self, region_name: str | None = None) -> int:
         if region_name is not None:
             return len(self._entries.get(region_name, ()))

@@ -1,0 +1,682 @@
+"""Deterministic fault injection (chaos) for the simulated cluster.
+
+The engine turns region-server failure from a hand-rolled unit-test
+gesture into a first-class scheduler participant: a :class:`FaultInjector`
+is registered on the :class:`~repro.sim.scheduler.DeterministicScheduler`
+as a *daemon* virtual client whose program walks a precomputed
+:func:`fault plan <build_fault_plan>` — ``crash(server)``, delayed
+``recover(server)`` (master failover: regions reopened elsewhere, WAL
+replayed) and ``restart(server)`` (the process rejoins empty) events at
+virtual timestamps. Because the plan is a pure function of the shared
+SimRNG seed stream and the scheduler resumes participants by minimum
+virtual timestamp, every chaos run is byte-identical across reruns.
+
+Workload side, the ``chaos_*`` generator helpers drive ordinary
+:class:`~repro.hbase.client.HTable` operations with the cooperative
+failover protocol: an operation that lands on a crashed/unrecovered
+region raises :class:`~repro.errors.RegionUnavailableError`, the helper
+charges a bounded backoff, yields to the scheduler (so the injector's
+recovery event can run) and retries — paying the meta-retry path — up
+to :attr:`FailoverPolicy.max_failover_retries` attempts before giving
+up with a typed :class:`~repro.errors.RegionRetriesExhaustedError`.
+Scans are consumed in chunks with a resume cursor, so an open scan
+survives a mid-scan crash: it reopens at the next undelivered row on
+whichever (recovered or relocated) region now owns it.
+
+Everything observable is recorded in a :class:`ChaosHistory` — acked
+writes in execution order, get/scan observations, fault events, retry
+and stall counters — and :func:`check_invariants` replays that history
+against the post-chaos cluster state:
+
+* **durability** — no acknowledged write lost: replaying the acked
+  writes serially in ack order (the PR-3 serial-replay oracle, applied
+  to the storage layer) must reproduce the final scanned state exactly,
+  with no phantom rows and no stale values;
+* **scan consistency** — every chaos scan delivered strictly increasing
+  row keys (no duplication), only values that were actually written,
+  and every row acked before the scan started that falls inside its
+  window (no loss across failover resumes);
+* **read integrity** — every get observed a written value (never a
+  deleted/phantom one).
+
+``repro.bench --only faults`` sweeps crash-cycle count x client count
+on top of :func:`run_chaos_cell` and reports throughput / p99 /
+client-observed recovery stalls as byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.config import ClusterConfig
+from repro.errors import RegionRetriesExhaustedError, RegionUnavailableError
+from repro.hbase.client import HBaseClient, HTable
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.ops import Get, Put, Scan
+from repro.sim.clock import Simulation
+from repro.sim.rng import derive_rng
+from repro.sim.scheduler import (
+    DeterministicScheduler,
+    SchedulerReport,
+    VirtualClient,
+)
+
+FAMILY = b"cf"
+QUALIFIER = b"v"
+
+
+# ------------------------------------------------------------------ fault plan
+@dataclass(frozen=True)
+class FaultConfig:
+    """Shape of one chaos schedule (all times are virtual ms)."""
+
+    cycles: int = 2
+    """Crash/recover/restart cycles to inject."""
+
+    first_crash_ms: float = 30.0
+    """Virtual time of the first crash."""
+
+    crash_interval_ms: float = 60.0
+    """Mean gap between consecutive crash events."""
+
+    failover_delay_ms: float = 20.0
+    """Crash -> master recovery (the unavailability window clients ride
+    out with bounded backoff-and-retry)."""
+
+    restart_delay_ms: float = 15.0
+    """Recovery -> the crashed process rejoins the cluster empty."""
+
+    interval_jitter: float = 0.5
+    """Uniform +-fraction applied to each crash gap (seeded draws)."""
+
+    label: str = "faults"
+    """SimRNG stream label; also namespaces the per-client op streams."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One planned fault action against one named server."""
+
+    at_ms: float
+    kind: str  # "crash" | "recover" | "restart"
+    server: str
+
+
+def build_fault_plan(
+    server_names: list[str],
+    config: FaultConfig,
+    rng,
+) -> list[FaultEvent]:
+    """Precompute the event list for one chaos run.
+
+    Victims are drawn from the servers that are up at each crash
+    instant, and a crash is only scheduled while at least two servers
+    are up — master recovery always has a live host to reopen regions
+    on. The plan is a pure function of ``(server_names, config, rng)``,
+    so a given seed always injects the same faults at the same virtual
+    timestamps.
+    """
+    if config.cycles < 0:
+        raise ValueError(f"negative cycle count: {config.cycles}")
+    events: list[tuple[float, int, str, str]] = []
+    down_until: dict[str, float] = {}
+    crash_counts: dict[str, int] = {}
+    order = 0
+    t = config.first_crash_ms
+    for _ in range(config.cycles):
+        candidates = [n for n in server_names if down_until.get(n, 0.0) <= t]
+        if len(candidates) < 2:
+            # wait for a restart: never take down the last live server
+            pending = [u for u in down_until.values() if u > t]
+            if not pending:
+                # a cluster that can never spare a server (e.g. a single
+                # region server) simply gets no faults injected
+                break
+            t = min(pending)
+            candidates = [
+                n for n in server_names if down_until.get(n, 0.0) <= t
+            ]
+        # spread victims: draw among the least-crashed candidates, so
+        # repeated cycles hit servers that have had time to re-accrue
+        # regions instead of re-killing the just-restarted empty one
+        fewest = min(crash_counts.get(n, 0) for n in candidates)
+        candidates = [
+            n for n in candidates if crash_counts.get(n, 0) == fewest
+        ]
+        victim = candidates[int(rng.integers(len(candidates)))]
+        crash_counts[victim] = crash_counts.get(victim, 0) + 1
+        recover_at = t + config.failover_delay_ms
+        restart_at = recover_at + config.restart_delay_ms
+        events.append((t, order, "crash", victim))
+        events.append((recover_at, order + 1, "recover", victim))
+        events.append((restart_at, order + 2, "restart", victim))
+        order += 3
+        down_until[victim] = restart_at
+        spread = config.interval_jitter * (2.0 * float(rng.random()) - 1.0)
+        t += config.crash_interval_ms * (1.0 + spread)
+    events.sort(key=lambda e: (e[0], e[1]))
+    return [FaultEvent(at, kind, server) for at, _, kind, server in events]
+
+
+# ------------------------------------------------------------------ history
+@dataclass
+class ScanObservation:
+    """What one logical chaos scan delivered, bracketed by history seqs."""
+
+    start_seq: int
+    end_seq: int
+    start_row: bytes
+    stop_row: bytes | None
+    rows: list[tuple[bytes, bytes]]
+
+
+class ChaosHistory:
+    """Execution-order record of everything a chaos run observed.
+
+    The sequence counter orders acked writes, gets and scan windows on
+    one global timeline. The whole simulation is single-threaded, so
+    ack order *is* execution order *is* HBase-timestamp order — which
+    makes "replay the acked writes serially in ack order" a sound
+    oracle for the final state.
+    """
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self.acked: list[tuple[int, bytes, bytes]] = []
+        self.gets: list[tuple[int, bytes, bytes | None]] = []
+        self.scans: list[ScanObservation] = []
+        self.events: list[dict[str, Any]] = []
+        self.crash_count = 0
+        self.recover_count = 0
+        self.restart_count = 0
+        self.regions_recovered = 0
+        self.failover_retries = 0
+        self.stalls_ms: list[float] = []
+        """Client-observed failover stalls: first failed attempt of an
+        op until the attempt that finally succeeded."""
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def record_ack(self, row: bytes, value: bytes) -> None:
+        self.acked.append((self.next_seq(), row, value))
+
+    def record_get(self, row: bytes, value: bytes | None) -> None:
+        self.gets.append((self.next_seq(), row, value))
+
+    def record_event(
+        self, at_ms: float, kind: str, server: str, regions: int
+    ) -> None:
+        self.events.append(
+            {"at_ms": at_ms, "kind": kind, "server": server, "regions": regions}
+        )
+
+
+# ------------------------------------------------------------------ injector
+class FaultInjector:
+    """Daemon scheduler participant that applies a fault plan.
+
+    Register with :meth:`install`; the injector advances its own virtual
+    clock to each event's timestamp and yields, so the min-timestamp
+    rule weaves crashes and recoveries between client segments exactly
+    where their virtual times fall. Being a daemon, it neither keeps the
+    run alive after the workload finishes nor stretches the makespan.
+    """
+
+    def __init__(
+        self,
+        cluster: HBaseCluster,
+        config: FaultConfig,
+        history: ChaosHistory,
+        rng=None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.history = history
+        if rng is None:
+            rng = derive_rng(cluster.config.seed, config.label)
+        self.plan = build_fault_plan(
+            [s.name for s in cluster.servers], config, rng
+        )
+
+    def install(self, scheduler: DeterministicScheduler) -> VirtualClient:
+        return scheduler.add_client("fault-injector", self.program, daemon=True)
+
+    def program(self, vc: VirtualClient):
+        servers = {s.name: s for s in self.cluster.servers}
+        for event in self.plan:
+            gap = event.at_ms - vc.clock.now_ms
+            if gap > 0:
+                vc.clock.advance(gap)
+            yield f"fault:{event.kind}"
+            self._apply(event, servers[event.server], vc)
+
+    def _apply(self, event: FaultEvent, server, vc: VirtualClient) -> None:
+        history = self.history
+        if event.kind == "crash":
+            hosted = len(server.regions)
+            server.crash()
+            history.crash_count += 1
+            history.record_event(vc.clock.now_ms, "crash", server.name, hosted)
+        elif event.kind == "recover":
+            moved = self.cluster.recover_server(server)
+            history.recover_count += 1
+            history.regions_recovered += moved
+            history.record_event(vc.clock.now_ms, "recover", server.name, moved)
+        elif event.kind == "restart":
+            server.restart()
+            history.restart_count += 1
+            history.record_event(vc.clock.now_ms, "restart", server.name, 0)
+        else:  # pragma: no cover - plans only emit the three kinds
+            raise ValueError(f"unknown fault event kind: {event.kind}")
+
+
+# ------------------------------------------------------------------ failover ops
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """How a chaos client rides out a region-unavailability window."""
+
+    max_failover_retries: int = 12
+    """Backoff-and-retry attempts before an op gives up with
+    :class:`~repro.errors.RegionRetriesExhaustedError`."""
+
+    retry_backoff_ms: float = 8.0
+    """Base backoff; attempt ``k`` waits ``k * retry_backoff_ms``."""
+
+    scan_chunk_rows: int = 32
+    """Rows a chaos scan pulls per scheduler segment, so fault events
+    can interleave with (and interrupt) a long-running scan."""
+
+
+def _with_failover(
+    vc: VirtualClient,
+    history: ChaosHistory,
+    policy: FailoverPolicy,
+    attempt: Callable[[], Any],
+    label: str,
+):
+    """Generator: run ``attempt()`` under the bounded failover protocol.
+
+    On :class:`RegionUnavailableError` the running client charges an
+    escalating backoff, yields to the scheduler (letting master
+    recovery run) and retries; after the retry budget it raises the
+    typed exhaustion error instead of looping on meta lookups forever.
+    """
+    first_failure_at: float | None = None
+    for attempt_no in range(1, policy.max_failover_retries + 1):
+        try:
+            result = attempt()
+        except RegionUnavailableError:
+            if first_failure_at is None:
+                first_failure_at = vc.clock.now_ms
+            history.failover_retries += 1
+            vc.clock.advance(policy.retry_backoff_ms * attempt_no)
+            yield "failover-wait"
+            continue
+        if first_failure_at is not None:
+            history.stalls_ms.append(vc.clock.now_ms - first_failure_at)
+        return result
+    raise RegionRetriesExhaustedError(
+        f"{label} gave up after {policy.max_failover_retries} failover "
+        "retries (region never came back)"
+    )
+
+
+def chaos_put(
+    vc: VirtualClient,
+    handle: HTable,
+    row: bytes,
+    value: bytes,
+    history: ChaosHistory,
+    policy: FailoverPolicy,
+):
+    """Put with failover retry; the write is acked (recorded) only when
+    the cluster accepted it."""
+
+    def attempt() -> None:
+        p = Put(row)
+        p.add(FAMILY, QUALIFIER, value)
+        handle.put(p)
+        history.record_ack(row, value)
+
+    yield from _with_failover(vc, history, policy, attempt, f"put {row!r}")
+
+
+def chaos_get(
+    vc: VirtualClient,
+    handle: HTable,
+    row: bytes,
+    history: ChaosHistory,
+    policy: FailoverPolicy,
+):
+    """Get with failover retry; records the observed value."""
+
+    def attempt() -> None:
+        result = handle.get(Get(row))
+        value = None if result is None else result.value(FAMILY, QUALIFIER)
+        history.record_get(row, value)
+
+    yield from _with_failover(vc, history, policy, attempt, f"get {row!r}")
+
+
+def chaos_scan(
+    vc: VirtualClient,
+    handle: HTable,
+    start_row: bytes,
+    stop_row: bytes | None,
+    history: ChaosHistory,
+    policy: FailoverPolicy,
+):
+    """Range scan with mid-scan failover resume.
+
+    Rows are pulled in chunks of :attr:`FailoverPolicy.scan_chunk_rows`
+    with a scheduler yield between chunks, so crashes and recoveries
+    interleave with the open scan. A crash mid-chunk kills the scan
+    generator; the helper backs off, yields, and reopens at the next
+    undelivered row (``last delivered + b"\\x00"``) — no duplication, no
+    loss. A recovery that completes *between* chunks is absorbed inside
+    :meth:`HTable.scan` itself (one meta round trip, cursor reopened on
+    the recovered region) and is invisible here.
+    """
+    start_seq = history.next_seq()
+    rows: list[tuple[bytes, bytes]] = []
+    cursor = start_row
+    failures = 0
+    first_failure_at: float | None = None
+    done = False
+    while not done:
+        stream = handle.scan(Scan(start_row=cursor, stop_row=stop_row))
+        try:
+            while True:
+                exhausted = False
+                for _ in range(policy.scan_chunk_rows):
+                    try:
+                        result = next(stream)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    rows.append((result.row, result.value(FAMILY, QUALIFIER)))
+                    cursor = result.row + b"\x00"
+                if first_failure_at is not None:
+                    history.stalls_ms.append(vc.clock.now_ms - first_failure_at)
+                    first_failure_at = None
+                    failures = 0  # progress resumed: fresh budget per outage
+                if exhausted:
+                    done = True
+                    break
+                yield "scan-chunk"
+        except RegionUnavailableError:
+            failures += 1
+            if failures > policy.max_failover_retries:
+                raise RegionRetriesExhaustedError(
+                    f"scan at {cursor!r} gave up after {failures - 1} "
+                    "failover retries"
+                ) from None
+            if first_failure_at is None:
+                first_failure_at = vc.clock.now_ms
+            history.failover_retries += 1
+            vc.clock.advance(policy.retry_backoff_ms * failures)
+            yield "failover-wait"
+    history.scans.append(
+        ScanObservation(start_seq, history.next_seq(), start_row, stop_row, rows)
+    )
+
+
+def chaos_client_program(
+    vc: VirtualClient,
+    handle: HTable,
+    ops: list[tuple],
+    history: ChaosHistory,
+    policy: FailoverPolicy,
+    tag: bytes,
+):
+    """One chaos client: a closed loop of put/get/scan ops, each driven
+    through the failover protocol, with per-op response times recorded."""
+    for opnum, op in enumerate(ops, start=1):
+        yield "op"
+        started = vc.clock.now_ms
+        if op[0] == "put":
+            value = b"%s-%04d" % (tag, opnum)
+            yield from chaos_put(vc, handle, op[1], value, history, policy)
+        elif op[0] == "get":
+            yield from chaos_get(vc, handle, op[1], history, policy)
+        else:
+            yield from chaos_scan(vc, handle, op[1], op[2], history, policy)
+        vc.stats.committed += 1
+        vc.stats.response_times.append(vc.clock.now_ms - started)
+
+
+def build_chaos_ops(
+    rng, ops_per_client: int, key_space: int, scan_window: int
+) -> list[tuple]:
+    """One client's deterministic op mix: 55% puts, 30% point gets,
+    15% short range scans, keys uniform over the preloaded space."""
+    ops: list[tuple] = []
+    for _ in range(ops_per_client):
+        r = float(rng.random())
+        k = int(rng.integers(0, key_space))
+        row = b"%08d" % k
+        if r < 0.55:
+            ops.append(("put", row))
+        elif r < 0.85:
+            ops.append(("get", row))
+        else:
+            stop = b"%08d" % min(k + scan_window, key_space)
+            ops.append(("scan", row, stop))
+    return ops
+
+
+# ------------------------------------------------------------------ invariants
+def check_invariants(history: ChaosHistory, table: HTable) -> list[str]:
+    """Replay the recorded history against the post-chaos state and
+    return every violated invariant (empty list = clean run)."""
+    violations: list[str] = []
+
+    # durability / serial-replay equivalence: applying the acked writes
+    # in ack order to a dict model must reproduce the scanned state
+    expected: dict[bytes, bytes] = {}
+    for _seq, row, value in history.acked:
+        expected[row] = value
+    actual: dict[bytes, bytes] = {}
+    for result in table.scan(Scan()):
+        actual[result.row] = result.value(FAMILY, QUALIFIER)
+    for row in sorted(set(expected) - set(actual)):
+        violations.append(f"durability: acked row {row!r} lost")
+    for row in sorted(set(actual) - set(expected)):
+        violations.append(f"durability: phantom row {row!r} surfaced")
+    for row in sorted(set(expected) & set(actual)):
+        if expected[row] != actual[row]:
+            violations.append(
+                f"durability: row {row!r} holds {actual[row]!r}, serial "
+                f"replay of acked writes expects {expected[row]!r}"
+            )
+
+    # the single-threaded simulator acks a write in the same segment
+    # that applied it, so any value an observation saw must have been
+    # acked strictly before the observation's own sequence number
+    acked_by_row: dict[bytes, list[tuple[int, bytes]]] = {}
+    for seq, row, value in history.acked:
+        acked_by_row.setdefault(row, []).append((seq, value))
+
+    def acked_before(row: bytes, bound: int, value: bytes) -> bool:
+        return any(
+            s < bound and v == value for s, v in acked_by_row.get(row, ())
+        )
+
+    # every get saw a value some write had acked by then
+    for seq, row, value in history.gets:
+        if value is None:
+            if any(s < seq for s, _v in acked_by_row.get(row, ())):
+                violations.append(
+                    f"read: get({row!r}) at seq {seq} observed no value "
+                    "despite an earlier acked write"
+                )
+        elif not acked_before(row, seq, value):
+            violations.append(
+                f"read: get({row!r}) observed {value!r}, never acked "
+                "before the read"
+            )
+
+    # scans: sorted, no duplication, no phantom values, no loss of rows
+    # acked before the scan started
+    for i, scan in enumerate(history.scans):
+        prev: bytes | None = None
+        for row, value in scan.rows:
+            if prev is not None and row <= prev:
+                violations.append(
+                    f"scan[{i}]: rows out of order / duplicated at {row!r}"
+                )
+            prev = row
+            if not acked_before(row, scan.end_seq, value):
+                violations.append(
+                    f"scan[{i}]: row {row!r} delivered {value!r}, never "
+                    "acked before the scan ended"
+                )
+        seen = {row for row, _value in scan.rows}
+        for seq, row, _value in history.acked:
+            if seq >= scan.start_seq:
+                break  # acked is in seq order
+            in_window = scan.start_row <= row and (
+                scan.stop_row in (None, b"") or row < scan.stop_row
+            )
+            if in_window and row not in seen:
+                violations.append(
+                    f"scan[{i}]: row {row!r} (acked before the scan "
+                    "started) was not delivered"
+                )
+    return violations
+
+
+# ------------------------------------------------------------------ harness
+@dataclass
+class ChaosRun:
+    """Outcome of one chaos cell (everything is deterministic)."""
+
+    report: SchedulerReport
+    history: ChaosHistory
+    violations: list[str]
+    quiesce_recoveries: int = 0
+    """Crashed-but-unrecovered servers the harness failed over after
+    the workload finished (the injector daemon was wound down before
+    its recover event fired)."""
+
+    def as_dict(self) -> dict[str, Any]:
+        h = self.history
+        return {
+            "makespan_ms": self.report.makespan_ms,
+            "committed": self.report.committed,
+            "crashes": h.crash_count,
+            "recoveries": h.recover_count,
+            "restarts": h.restart_count,
+            "regions_recovered": h.regions_recovered,
+            "failover_retries": h.failover_retries,
+            "stalls": len(h.stalls_ms),
+            "quiesce_recoveries": self.quiesce_recoveries,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class _ChaosCellSpec:
+    """Internal bundle for :func:`run_chaos_cell` defaults."""
+
+    num_servers: int = 3
+    clients: int = 4
+    ops_per_client: int = 32
+    preload_rows: int = 240
+    scan_window: int = 24
+    value_bytes: int = 12
+    fault_config: FaultConfig = field(default_factory=FaultConfig)
+    policy: FailoverPolicy = field(default_factory=FailoverPolicy)
+    seed: int = 20170904
+
+
+def run_chaos_cell(
+    num_servers: int = 3,
+    clients: int = 4,
+    ops_per_client: int = 32,
+    preload_rows: int = 240,
+    scan_window: int = 24,
+    fault_config: FaultConfig | None = None,
+    policy: FailoverPolicy | None = None,
+    seed: int = 20170904,
+) -> ChaosRun:
+    """Build a cluster, preload it, and drive ``clients`` chaos clients
+    against it while a :class:`FaultInjector` crashes and recovers
+    region servers — then check every durability/consistency invariant.
+
+    The table is pre-split so each server hosts part of the key range
+    (every crash takes real data offline). All randomness flows through
+    ``derive_rng(seed, ...)`` streams and all timing is virtual, so two
+    runs with the same arguments are byte-identical.
+    """
+    spec = _ChaosCellSpec(
+        num_servers=num_servers,
+        clients=clients,
+        ops_per_client=ops_per_client,
+        preload_rows=preload_rows,
+        scan_window=scan_window,
+        fault_config=fault_config or FaultConfig(),
+        policy=policy or FailoverPolicy(),
+        seed=seed,
+    )
+    sim = Simulation(seed=spec.seed)
+    cluster = HBaseCluster(
+        sim,
+        ClusterConfig(num_region_servers=spec.num_servers, seed=spec.seed),
+    )
+    client = HBaseClient(cluster)
+    key_space = spec.preload_rows
+    num_regions = max(2 * spec.num_servers, 2)
+    split_keys = [
+        b"%08d" % (key_space * i // num_regions)
+        for i in range(1, num_regions)
+    ]
+    table = client.create_table(
+        "chaos", families=(FAMILY,), split_keys=split_keys
+    )
+    history = ChaosHistory()
+    puts = []
+    for i in range(key_space):
+        row = b"%08d" % i
+        value = b"seed-%06d" % i
+        history.record_ack(row, value)
+        p = Put(row)
+        p.add(FAMILY, QUALIFIER, value)
+        puts.append(p)
+    table.put_batch(puts)
+    sim.reset_clock()
+
+    scheduler = DeterministicScheduler(sim)
+    for i in range(spec.clients):
+        rng = derive_rng(
+            spec.seed, f"{spec.fault_config.label}/chaos-client-{i}"
+        )
+        ops = build_chaos_ops(
+            rng, spec.ops_per_client, key_space, spec.scan_window
+        )
+        handle = HTable(cluster, "chaos")
+        tag = (b"c%02d" % i)
+
+        def program(vc, handle=handle, ops=ops, tag=tag):
+            yield from chaos_client_program(
+                vc, handle, ops, history, spec.policy, tag
+            )
+
+        scheduler.add_client(f"chaos-{i}", program)
+    injector = FaultInjector(cluster, spec.fault_config, history)
+    injector.install(scheduler)
+    report = scheduler.run()
+
+    # quiesce: if the workload finished inside a failover window the
+    # daemon was wound down before recovering the victim — finish the
+    # master's job so the invariant scan sees the whole key space
+    quiesce = 0
+    for server in cluster.servers:
+        if not server.alive and not server.recovered:
+            history.regions_recovered += cluster.recover_server(server)
+            quiesce += 1
+    violations = check_invariants(history, HTable(cluster, "chaos"))
+    return ChaosRun(report, history, violations, quiesce_recoveries=quiesce)

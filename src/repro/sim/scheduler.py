@@ -82,12 +82,23 @@ class ClientStats:
 
 
 class VirtualClient:
-    """One simulated client: its own clock, coroutine and stats."""
+    """One simulated client: its own clock, coroutine and stats.
 
-    def __init__(self, client_id: int, name: str, program) -> None:
+    A *daemon* client (``daemon=True``) is a background scheduler
+    participant — e.g. a fault injector — that interleaves with the
+    workload by the same min-virtual-timestamp rule but never keeps the
+    run alive: the scheduler stops when every non-daemon client is done
+    and closes any daemon generators still pending. Daemons are excluded
+    from the makespan, so an injector whose next planned event lies past
+    the end of the workload does not stretch the measured run."""
+
+    def __init__(
+        self, client_id: int, name: str, program, daemon: bool = False
+    ) -> None:
         self.client_id = client_id
         self.name = name
         self.program = program
+        self.daemon = daemon
         self.clock = SimClock()
         self.stats = ClientStats()
         self.gen: Generator | None = None
@@ -258,11 +269,16 @@ class DeterministicScheduler:
         fingerprint of the interleaving, used by reproducibility tests."""
 
     def add_client(
-        self, name: str, program: Callable[[VirtualClient], Generator]
+        self,
+        name: str,
+        program: Callable[[VirtualClient], Generator],
+        daemon: bool = False,
     ) -> VirtualClient:
         """Register a client. ``program(client)`` must return a
-        generator that yields at every cost-charge segment boundary."""
-        client = VirtualClient(len(self.clients), name, program)
+        generator that yields at every cost-charge segment boundary.
+        ``daemon=True`` registers a background participant (fault
+        injector) that never keeps the run alive on its own."""
+        client = VirtualClient(len(self.clients), name, program, daemon=daemon)
         self.clients.append(client)
         return client
 
@@ -279,7 +295,13 @@ class DeterministicScheduler:
         try:
             while True:
                 runnable = [c for c in self.clients if not c.done]
-                if not runnable:
+                if not any(not c.daemon for c in runnable):
+                    # only daemons (or nothing) left: the workload is
+                    # finished — wind down pending background programs
+                    for c in runnable:
+                        if c.gen is not None:
+                            c.gen.close()
+                        c.done = True
                     break
                 client = min(
                     runnable, key=lambda c: (c.clock.now_ms, c.client_id)
@@ -302,7 +324,9 @@ class DeterministicScheduler:
         finally:
             self.sim.clock = master_clock
             self.sim.concurrency = None
-        makespan = max((c.clock.now_ms for c in self.clients), default=0.0)
+        makespan = max(
+            (c.clock.now_ms for c in self.clients if not c.daemon), default=0.0
+        )
         if makespan > master_clock.now_ms:
             master_clock.advance(makespan - master_clock.now_ms)
         return SchedulerReport(

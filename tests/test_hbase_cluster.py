@@ -4,7 +4,13 @@ compaction, recovery, size accounting, and cost charging."""
 import pytest
 
 from repro.config import ClusterConfig
-from repro.errors import RegionUnavailableError, TableExistsError, TableNotFoundError
+from repro.errors import (
+    RegionRetriesExhaustedError,
+    RegionUnavailableError,
+    ServerRecoveryError,
+    TableExistsError,
+    TableNotFoundError,
+)
 from repro.hbase import (
     Delete,
     Get,
@@ -230,6 +236,106 @@ class TestFailureRecovery:
         cluster.recover_server(server)
         assert table.get(Get(b"a")).value(CF, b"v") == b"flushed"
         assert table.get(Get(b"b")).value(CF, b"v") == b"in-wal"
+
+    def test_recovering_a_live_server_is_a_typed_error(self, cluster, table):
+        server = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        with pytest.raises(ServerRecoveryError):
+            cluster.recover_server(server)
+
+    def test_double_recovery_is_a_typed_error(self, cluster, client, table):
+        """Recovering twice would replay a WAL whose edits already
+        landed (and were flushed) on the regions' new hosts — it must
+        fail loudly, not silently re-move regions."""
+        put(table, b"a", v=b"1")
+        server = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        server.crash()
+        assert cluster.recover_server(server) >= 1
+        with pytest.raises(ServerRecoveryError):
+            cluster.recover_server(server)
+        # the guarded double recovery changed nothing for clients
+        assert table.get(Get(b"a")).value(CF, b"v") == b"1"
+
+    def test_restarted_server_rejoins_empty_and_recyclable(
+        self, cluster, client, table
+    ):
+        put(table, b"a", v=b"1")
+        server = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        server.crash()
+        cluster.recover_server(server)
+        server.restart()
+        assert server.alive and not server.regions and not server.recovered
+        assert server.wal.pending_count() == 0
+        # a full second crash/recover cycle works after the restart
+        put(table, b"a", v=b"2")
+        victim = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        victim.crash()
+        cluster.recover_server(victim)
+        assert table.get(Get(b"a")).value(CF, b"v") == b"2"
+
+    def test_restarting_a_live_server_is_rejected(self, cluster, table):
+        with pytest.raises(Exception, match="already alive"):
+            cluster.servers[0].restart()
+
+    def test_recovery_with_no_live_server_is_a_typed_error(
+        self, cluster, client, table
+    ):
+        put(table, b"a", v=b"1")
+        for server in cluster.servers:
+            server.crash()
+        victim = next(s for s in cluster.servers if s.regions)
+        with pytest.raises(Exception, match="no live region server"):
+            cluster.recover_server(victim)
+
+
+class TestRelocationRetryBudget:
+    def test_unresolvable_region_fails_bounded_and_typed(
+        self, sim, cluster, client, table
+    ):
+        """A key range that keeps resolving to an unavailable region
+        must surface the typed exhaustion error after a bounded number
+        of meta retries — not loop on meta lookups forever."""
+        for i in range(4):
+            put(table, b"a%d" % i, v=b"x")
+        parent = table._locate(b"a0")
+        cluster.split_region(parent)  # parent offline, daughters own it
+        # pin resolution to the offline parent: the meta table keeps
+        # "answering" with a location that never becomes servable
+        table._locate = lambda row: parent
+        rpc_before = sim.metrics.counters().get("client.rpc", 0)
+        with pytest.raises(RegionRetriesExhaustedError):
+            table.get(Get(b"a0"))
+        paid = sim.metrics.counters()["client.rpc"] - rpc_before
+        # every relocation attempt paid its failed RPC + meta lookup
+        assert paid == 2 * table.MAX_LOCATION_RETRIES
+
+    def test_exhaustion_error_is_a_region_unavailable_error(self):
+        assert issubclass(RegionRetriesExhaustedError, RegionUnavailableError)
+
+    def test_put_batch_relocation_is_bounded_too(self, cluster, client, table):
+        """The batched write path shares the bounded budget: it must
+        not recurse forever (or overflow the stack) when a group's
+        region keeps resolving to an unavailable location."""
+        for i in range(4):
+            put(table, b"a%d" % i, v=b"x")
+        parent = table._locate(b"a0")
+        cluster.split_region(parent)
+        table._locate = lambda row: parent
+        p = Put(b"a0")
+        p.add(CF, b"v", b"y")
+        with pytest.raises(RegionRetriesExhaustedError):
+            table.put_batch([p])
+
+    def test_crash_without_successor_fails_fast(self, sim, cluster, client, table):
+        """An unrecovered crash does not burn the retry budget: the
+        first relocation attempt finds no successor and re-raises."""
+        put(table, b"a", v=b"1")
+        server = cluster.server_for(cluster.descriptor("t").region_for(b"a"))
+        server.crash()
+        rpc_before = sim.metrics.counters().get("client.rpc", 0)
+        with pytest.raises(RegionUnavailableError):
+            table.get(Get(b"a"))
+        # one failed op RPC, no meta-retry charges
+        assert sim.metrics.counters()["client.rpc"] - rpc_before == 1
 
 
 class TestRegionLocationCache:
