@@ -9,15 +9,17 @@ metric). ``--baseline-json PATH`` merges a previously emitted file in
 as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
-storage, concurrency, scaleout, faults``) — handy for quick perf
-checks.
+storage, concurrency, scaleout, faults, replication``) — handy for
+quick perf checks.
 
-``--only concurrency --emit-json`` (likewise ``scaleout`` and
-``faults``) emits a fully deterministic trajectory (virtual-time
-metrics only, no wall-clock entries): two runs with the same seed
-produce byte-identical JSON. The ``faults`` experiment additionally
-verifies the chaos invariants (no acked write lost, no scan
-duplication/loss) and aborts on any violation.
+``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``
+and ``replication``) emits a fully deterministic trajectory
+(virtual-time metrics only, no wall-clock entries): two runs with the
+same seed produce byte-identical JSON. The ``faults`` experiment
+additionally verifies the chaos invariants (no acked write lost, no
+scan duplication/loss) and aborts on any violation; ``replication``
+sweeps replica count x crash rate with a nonzero recovery-replay cost
+and further enforces the bounded-staleness follower-read oracle.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from repro.bench.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_replication,
     run_scaleout,
     run_storage_perf,
     run_table1,
@@ -45,7 +48,7 @@ from repro.bench.tpcw_lab import TpcwLab
 
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
-    "table2", "table3", "concurrency", "scaleout", "faults",
+    "table2", "table3", "concurrency", "scaleout", "faults", "replication",
 )
 
 
@@ -87,6 +90,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--faults-ops", type=int, default=64,
                         help="operations per virtual client in the "
                              "fault-injection experiment")
+    parser.add_argument("--replicas", type=str, default="1,2,3",
+                        help="comma-separated replica counts for the "
+                             "replication experiment (1 = no replication)")
+    parser.add_argument("--replication-cycles", type=str, default="0,2,4",
+                        help="comma-separated crash cycle counts for the "
+                             "replication experiment")
+    parser.add_argument("--replication-clients", type=int, default=6,
+                        help="virtual clients in the replication experiment")
+    parser.add_argument("--replication-ops", type=int, default=48,
+                        help="operations per virtual client in the "
+                             "replication experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -203,6 +217,28 @@ def main(argv: list[str] | None = None) -> int:
             cycle_counts,
             faults_clients,
             ops_per_client=args.faults_ops,
+            progress=say,
+        ).values():
+            record(r)
+    if "replication" in selected:
+        # replication trajectory: virtual-time metrics only, never
+        # wall-clock timed, so the emitted JSON is byte-identical across
+        # runs; any durability/staleness violation aborts the run
+        replica_counts = tuple(
+            int(s)
+            for s in args.replicas.split(",")
+            if s.strip() and int(s) > 0
+        )
+        replication_cycles = tuple(
+            int(s)
+            for s in args.replication_cycles.split(",")
+            if s.strip() and int(s) >= 0
+        )
+        for r in run_replication(
+            replica_counts,
+            replication_cycles,
+            clients=args.replication_clients,
+            ops_per_client=args.replication_ops,
             progress=say,
         ).values():
             record(r)

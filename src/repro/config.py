@@ -126,6 +126,55 @@ DEFAULT_COST_MODEL = CostModel()
 
 
 @dataclass(frozen=True)
+class ReplicationConfig:
+    """Region replication: N copies per region with primary-push WAL
+    shipping, bounded-staleness follower reads and promotion-on-crash.
+
+    The default ``replica_count=1`` means *no* replication: no groups
+    are created, no WAL taps installed, no shipper daemon runs, and
+    every pre-existing code path (and its simulated latency) stays
+    bit-identical."""
+
+    replica_count: int = 1
+    """Total copies of each region (primary included). 1 disables
+    replication entirely; N >= 2 keeps N-1 followers per region."""
+
+    ship_batch_entries: int = 8
+    """WAL entries the shipper pushes to one follower per drain step."""
+
+    ship_interval_ms: float = 4.0
+    """Virtual pause between shipper drain rounds (the push cadence)."""
+
+    ship_entry_ms: float = 0.02
+    """Virtual cost of applying one shipped WAL entry on a follower
+    (charged on the shipper daemon's timeline in async mode, on the
+    writing client's timeline in ``ack_mode="all"``)."""
+
+    ack_mode: str = "primary"
+    """When a replicated edit counts as durably acknowledged:
+
+    * ``"primary"`` — acked once the primary's WAL sync returns;
+      followers catch up asynchronously via the shipper daemon.
+    * ``"all"`` — the write additionally ships synchronously to every
+      live follower (one RPC + per-entry apply charged to the writer)
+      before it is acknowledged."""
+
+    staleness_bound_entries: int = 32
+    """Bounded-staleness follower reads: a follower may serve a read
+    only while its applied-WAL watermark lags the primary's log by at
+    most this many entries. Reads are pinned to the watermark, so a
+    follower can never return a value that was not acknowledged."""
+
+    anti_affinity: bool = True
+    """Never co-host a primary with one of its own followers: follower
+    placement excludes the primary's server, and the balancer refuses
+    moves that would land a primary on a server holding its follower."""
+
+
+DEFAULT_REPLICATION_CONFIG = ReplicationConfig()
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Shape of the simulated cluster (mirrors the paper's EC2 testbed)."""
 
@@ -143,7 +192,16 @@ class ClusterConfig:
     keeps every pre-existing experiment's region layout — and therefore
     its simulated latency — bit-identical."""
 
+    max_location_retries: int = 16
+    """Relocations one client operation may pay before giving up with a
+    typed ``RegionRetriesExhaustedError`` — bounds the meta-retry loop
+    when a key range keeps resolving to unavailable regions (deep split
+    chains, repeated failover). Each ``HTable`` picks this up at
+    construction time."""
+
     cost: CostModel = field(default_factory=CostModel)
+
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
 
 
 DEFAULT_CLUSTER_CONFIG = ClusterConfig()

@@ -77,6 +77,13 @@ class RegionSplitError(HBaseError):
     key is not strictly inside the region's key range)."""
 
 
+class ReplicationError(HBaseError):
+    """Region-replication misuse: replicating a non-empty region (the
+    group log must be the region's complete edit history), re-replicating
+    an already replicated table, or a replica count the cluster cannot
+    place under anti-affinity."""
+
+
 class TransactionError(ReproError):
     """Errors from either transaction layer (MVCC or Synergy)."""
 

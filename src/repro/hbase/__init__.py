@@ -28,6 +28,10 @@ from repro.hbase.filters import (
     PrefixFilter,
     RowRangeFilter,
 )
+from repro.hbase.replication import (
+    ReplicationManager,
+    ReplicationShipper,
+)
 
 __all__ = [
     "Cell",
@@ -42,6 +46,8 @@ __all__ = [
     "PrefixFilter",
     "Put",
     "RegionBalancer",
+    "ReplicationManager",
+    "ReplicationShipper",
     "Result",
     "RowRangeFilter",
     "Scan",

@@ -45,6 +45,10 @@ from repro.hbase.region import Region
 from repro.sim.latency import LatencyCharger
 
 
+_FOLLOWER_MISS = object()
+"""Sentinel: no eligible follower served the read — use the primary."""
+
+
 class HTable:
     """Client-side view of one table."""
 
@@ -52,15 +56,43 @@ class HTable:
     """Relocations one operation may pay before giving up with a
     :class:`~repro.errors.RegionRetriesExhaustedError` — bounds the
     meta-retry loop when a key range keeps resolving to regions that
-    turn out to be unavailable (deep split chains, repeated failover)."""
+    turn out to be unavailable (deep split chains, repeated failover).
+    This class attribute is the documented default; each instance
+    shadows it with ``ClusterConfig.max_location_retries`` at
+    construction time, so the budget is a cluster-level knob."""
 
-    def __init__(self, cluster: HBaseCluster, name: str) -> None:
+    def __init__(
+        self,
+        cluster: HBaseCluster,
+        name: str,
+        follower_reads: bool = False,
+    ) -> None:
         self.cluster = cluster
         self.name = name
         self.desc = cluster.descriptor(name)
         self.charge = LatencyCharger(cluster.sim, "client")
         self._cached_region: Region | None = None
         self._cached_version = -1
+        self.MAX_LOCATION_RETRIES = cluster.config.max_location_retries
+        self.follower_reads = follower_reads
+        """Opt-in bounded-staleness reads: gets and scan windows are
+        served by the most-caught-up region replica within the
+        configured staleness bound, falling back to the primary when no
+        follower qualifies. Reads are pinned to the follower's
+        applied-WAL watermark — a prefix of acknowledged writes — so a
+        follower can never return a never-acked value."""
+        self.last_follower_lag: tuple[int, int] | None = None
+        """After a follower-served :meth:`get`: ``(row_lag,
+        entry_lag)`` — edits to the read row, and log entries overall,
+        the serving follower had not yet applied. None when the primary
+        served (reset at the start of every get). The chaos harness
+        records this so the staleness oracle can check the exact value
+        a bounded-lag read must have returned."""
+        self.follower_scan_lag: list[tuple[int, dict[bytes, int]]] = []
+        """One ``(entry_lag, missing_rows)`` record per follower-served
+        scan window: the follower's total lag and, per row in the
+        window's range, how many acked edits its watermark had not yet
+        applied when the window opened."""
 
     # -- region-location cache --------------------------------------------------------
     def _locate(self, row: bytes) -> Region:
@@ -129,7 +161,50 @@ class HTable:
 
     # -- point ops --------------------------------------------------------------------
     def get(self, op: Get) -> Result | None:
+        if self.follower_reads:
+            self.last_follower_lag = None
+            rep = self.cluster.replication
+            if rep is not None:
+                result = self._follower_get(rep, op)
+                if result is not _FOLLOWER_MISS:
+                    return result
         return self._routed(op.row, lambda region: self._get_at(region, op))
+
+    def _follower_get(self, rep, op: Get):
+        """Serve ``op`` from the most-caught-up in-bound follower of the
+        addressed region, or return the miss sentinel (no group, no
+        follower within the staleness bound, or the follower died under
+        the read) so the caller takes the primary path. Charges mirror
+        :meth:`_get_at`, landed on the follower's server — which keeps
+        serving while the primary's server is down: the whole point."""
+        region = self._locate(op.row)
+        follower = rep.follower_for_read(region)
+        if follower is None:
+            return _FOLLOWER_MISS
+        self.charge.rpc()
+        server = follower.server
+        ctx = self._enter_server(server)
+        try:
+            server.charge.seek()
+            result = follower.region.read_row(
+                op.row, op.columns, op.max_versions, op.time_range
+            )
+            if result is not None:
+                server.charge.rows_read(1)
+                self.charge.transfer(result.size_bytes)
+            # pin the observation: nothing yields between the read and
+            # these counters, so they describe exactly the prefix read
+            group = rep.groups[region.name]
+            self.last_follower_lag = (
+                rep.row_lag(region, follower, op.row),
+                len(group.log) - follower.applied,
+            )
+            return result
+        except RegionUnavailableError:
+            return _FOLLOWER_MISS
+        finally:
+            if ctx is not None:
+                ctx.serial_exit((server,), self.cluster.sim)
 
     def _get_at(self, region: Region, op: Get) -> Result | None:
         # the round trip is charged before resolving the host: a stale
@@ -160,6 +235,9 @@ class HTable:
         try:
             ts = self.cluster.next_timestamp()
             server.apply_put(region, op.row, op.cells, ts)
+            rep = self.cluster.replication
+            if rep is not None:
+                rep.after_write(region)  # ack_mode="all": sync ship
         finally:
             if ctx is not None:
                 ctx.serial_exit((server,), self.cluster.sim)
@@ -218,6 +296,9 @@ class HTable:
                     server.charge.wal_append()  # one group sync per batch
                     first_ts = self.cluster.reserve_timestamps(len(puts))
                     server.apply_puts(region, puts, first_ts)
+                    rep = self.cluster.replication
+                    if rep is not None:
+                        rep.after_write(region)  # ack_mode="all"
                 finally:
                     if ctx is not None:
                         ctx.serial_exit((server,), self.cluster.sim)
@@ -238,6 +319,9 @@ class HTable:
         try:
             ts = self.cluster.next_timestamp()
             server.apply_delete(region, op.row, op.columns, ts)
+            rep = self.cluster.replication
+            if rep is not None:
+                rep.after_write(region)  # ack_mode="all": sync ship
         finally:
             if ctx is not None:
                 ctx.serial_exit((server,), self.cluster.sim)
@@ -266,6 +350,9 @@ class HTable:
                 [(op.family, op.qualifier, struct.pack(">q", new_value), None)],
                 ts,
             )
+            rep = self.cluster.replication
+            if rep is not None:
+                rep.after_write(region)  # ack_mode="all": sync ship
             return new_value
         finally:
             if ctx is not None:
@@ -315,6 +402,9 @@ class HTable:
                 return False
             ts = self.cluster.next_timestamp()
             server.apply_put(region, put.row, put.cells, ts)
+            rep = self.cluster.replication
+            if rep is not None:
+                rep.after_write(region)  # ack_mode="all": sync ship
             return True
         finally:
             if ctx is not None:
@@ -351,6 +441,8 @@ class HTable:
         sim = self.cluster.sim
         cursor = op.start_row  # next row key still to be examined
         stop_row = op.stop_row or None
+        rep = self.cluster.replication if self.follower_reads else None
+        skip_follower = False  # set when a follower died under a window
         while True:
             if not self.desc.regions:  # dropped table, stale handle
                 return
@@ -359,21 +451,42 @@ class HTable:
             region = self.desc.region_for(cursor)
             if stop_row is not None and region.start_key >= stop_row:
                 return
-            server = self.cluster.server_for(region)
+            start = max(cursor, region.start_key)
+            stop = _min_stop(stop_row, region.end_key)
+            follower = None
+            if rep is not None and not skip_follower:
+                follower = rep.follower_for_read(region)
+            skip_follower = False
+            if follower is not None:
+                # serve this window from the follower, pinned to its
+                # applied watermark; record the pinning (total lag +
+                # per-row un-applied edit counts inside the window) so
+                # the staleness oracle knows which rows the window was
+                # allowed to be missing or behind on
+                source = follower.region
+                server = follower.server
+                group = rep.groups[region.name]
+                self.follower_scan_lag.append(
+                    (
+                        len(group.log) - follower.applied,
+                        rep.missing_rows(region, follower, start, stop),
+                    )
+                )
+            else:
+                source = region
+                server = self.cluster.server_for(region)
             ctx = self._enter_server(server)
             charge_rpc()  # open scanner on this region
             server.charge.seek()
             row_read = server.charge.row_read
             batch_rows = 0
             batch_bytes = 0
-            start = max(cursor, region.start_key)
-            stop = _min_stop(stop_row, region.end_key)
             relocate = False
             # the finally settles this region window on every exit —
             # normal completion, limit reached, split relocation, crash,
             # and a consumer abandoning the generator mid-iteration
             try:
-                for key, result in region.scan(
+                for key, result in source.scan(
                     start, stop, wanted, op.max_versions, op.time_range
                 ):
                     cursor = key + b"\x00"  # resume point past this row
@@ -394,20 +507,28 @@ class HTable:
                     if not unlimited and emitted >= limit:
                         return
             except RegionUnavailableError:
-                # re-raises an unrecovered crash; on a split or a
-                # completed recovery: drops the cached location and pays
-                # the meta round trip, after which we reopen at the
-                # cursor on the region now owning it — one logical scan
-                # crosses split *and* failover boundaries seamlessly
-                self._relocate(region, cursor)
-                relocate = True
+                if follower is not None:
+                    # the follower died under its window: retry the
+                    # window (from the cursor) on the primary, without
+                    # paying a meta relocation — the primary's location
+                    # was never stale
+                    skip_follower = True
+                else:
+                    # re-raises an unrecovered crash; on a split or a
+                    # completed recovery: drops the cached location and
+                    # pays the meta round trip, after which we reopen at
+                    # the cursor on the region now owning it — one
+                    # logical scan crosses split *and* failover
+                    # boundaries seamlessly
+                    self._relocate(region, cursor)
+                    relocate = True
             finally:
                 if batch_rows:  # rows yielded so far were delivered
                     charge_rpc()
                     charge_transfer(batch_bytes)
                 if ctx is not None:
                     ctx.serial_exit((server,), sim)
-            if relocate:
+            if relocate or skip_follower:
                 continue
             if region.end_key is None or (
                 stop_row is not None and region.end_key >= stop_row

@@ -23,12 +23,14 @@ from repro.errors import (
     HBaseError,
     RegionSplitError,
     RegionUnavailableError,
+    ReplicationError,
     ServerRecoveryError,
     TableExistsError,
     TableNotFoundError,
 )
 from repro.hbase.region import Region
 from repro.hbase.regionserver import RegionServer
+from repro.hbase.replication import ReplicationManager
 from repro.sim.clock import Simulation
 from repro.sim.rng import derive_rng
 
@@ -91,6 +93,15 @@ class HBaseCluster:
         self._region_host: dict[str, RegionServer] = {}
         for server in self.servers:
             server.on_region_grown = self._auto_split
+        self.replication = (
+            ReplicationManager(self)
+            if config.replication.replica_count >= 2
+            else None
+        )
+        """Region-replication manager, or None (``replica_count=1``).
+        Every replication hook below is guarded on this, so the
+        unreplicated cluster behaves — and charges — bit-identically
+        to builds that predate replication."""
 
     # -- timestamp oracle ----------------------------------------------------------
     def next_timestamp(self) -> int:
@@ -208,10 +219,20 @@ class HBaseCluster:
             return False
         if not target.alive:
             raise HBaseError(f"server {target.name} is down")
+        if self.replication is not None and not self.replication.allows_move(
+            region, target
+        ):
+            raise ReplicationError(
+                f"moving primary {region.name} onto {target.name} would "
+                "co-host it with its own follower"
+            )
         source.flush_region(region)
         source.unhost(region.name)
         target.host(region)
         self._region_host[region.name] = target
+        if self.replication is not None:
+            # the ship-log tap must follow the primary onto its new WAL
+            self.replication.on_region_moved(region, source, target)
         return True
 
     # -- region splitting -------------------------------------------------------------
@@ -227,6 +248,16 @@ class HBaseCluster:
         server = self._region_host.get(region.name)
         if server is None:
             raise HBaseError(f"region {region.name} is not hosted")
+        if (
+            self.replication is not None
+            and region.name in self.replication.groups
+        ):
+            # splitting would orphan the group's complete-history ship
+            # log (each daughter's log would start mid-history); the
+            # replicated experiments pre-split at table creation instead
+            raise ReplicationError(
+                f"region {region.name} is replicated and cannot be split"
+            )
         low, high = region.split(split_key)
         server.unhost(region.name)
         del self._region_host[region.name]
@@ -250,6 +281,11 @@ class HBaseCluster:
             threshold = r.split_threshold_bytes
             if threshold is None or r._approx_size_bytes < threshold:
                 continue
+            if (
+                self.replication is not None
+                and r.name in self.replication.groups
+            ):
+                continue  # replicated regions never auto-split
             try:
                 queue.extend(self.split_region(r))
             except RegionSplitError:
@@ -285,6 +321,27 @@ class HBaseCluster:
         recovered = 0
         for region_name in list(dead.regions):
             old = dead.unhost(region_name)
+            if self.replication is not None:
+                promoted = self.replication.promote(old)
+                if promoted is not None:
+                    # most-caught-up live follower becomes the primary:
+                    # only the un-shipped log suffix was replayed, not
+                    # the dead server's whole pending WAL
+                    region = promoted.region
+                    promoted.server.host(region)
+                    del self._region_host[region_name]
+                    self._region_host[region.name] = promoted.server
+                    # persist the promoted copy: its memstore rows are
+                    # now the only unflushed incarnation of these edits
+                    promoted.server.flush_region(region)
+                    desc = self.tables[old.table_name]
+                    desc.regions = [
+                        region if r.name == old.name else r
+                        for r in desc.regions
+                    ]
+                    desc.invalidate_locations()
+                    recovered += 1
+                    continue
             fresh = Region(
                 table_name=old.table_name,
                 start_key=old.start_key,
@@ -318,9 +375,42 @@ class HBaseCluster:
                 fresh if r.name == old.name else r for r in desc.regions
             ]
             desc.invalidate_locations()  # client caches must not reuse `old`
+            if self.replication is not None:
+                # a replicated primary with no live follower took the
+                # full-replay path: re-key its group to the fresh
+                # incarnation and move the ship-log tap to the new host
+                self.replication.on_primary_recovered(
+                    old, fresh, self.server_for(fresh)
+                )
             recovered += 1
         dead.recovered = True
+        if self.replication is not None:
+            # groups that lost followers (or whose promotion consumed
+            # one) head back to full strength on the surviving servers
+            self.replication.repair()
         return recovered
+
+    def recovery_replay_estimate(self, dead: RegionServer) -> int:
+        """Log entries master failover would replay to recover ``dead``
+        right now: the best live follower's lag for promotable regions,
+        the full pending WAL (own buffer + ancestor ranges) otherwise.
+        The chaos engine turns this into the recovery stall that
+        replication is meant to shrink."""
+        total = 0
+        for region in dead.regions.values():
+            est = None
+            if self.replication is not None:
+                est = self.replication.promotion_replay_estimate(region)
+            if est is None:
+                est = len(dead.wal.entries_for(region.name))
+                for ancestor in region.wal_ancestry:
+                    est += len(
+                        dead.wal.entries_for_range(
+                            ancestor, region.start_key, region.end_key
+                        )
+                    )
+            total += est
+        return total
 
     # -- stats ------------------------------------------------------------------------
     def table_size_bytes(self, name: str) -> int:
@@ -390,6 +480,16 @@ class RegionBalancer:
             moves = self._round_robin_moves(servers)
         else:
             moves = self._load_aware_moves(servers)
+        replication = self.cluster.replication
+        if replication is not None:
+            # drop (don't reroute) moves that would co-host a primary
+            # with its own follower: rerouting would shift every later
+            # round-robin slot and change unrelated placements
+            moves = [
+                (region, target)
+                for region, target in moves
+                if replication.allows_move(region, target)
+            ]
         moved_tables = set()
         moved = 0
         for region, target in moves:

@@ -17,6 +17,12 @@ class RegionServer:
         self.sim = sim
         self.charge = LatencyCharger(sim, f"rs.{name}")
         self.regions: dict[str, Region] = {}
+        self.follower_regions: dict[str, Region] = {}
+        """Follower replicas hosted here (``repro.hbase.replication``).
+        Kept apart from ``regions`` on purpose: master failover must
+        never treat a follower as a primary to re-open elsewhere, and
+        the table descriptor never routes to one directly — but a crash
+        still takes them offline with the process."""
         self.wal = WriteAheadLog()
         self.alive = True
         self.recovered = False
@@ -171,15 +177,21 @@ class RegionServer:
         self.recovered = False
         for region in self.regions.values():
             region.online = False
+        for region in self.follower_regions.values():
+            region.online = False
 
     def restart(self) -> None:
         """The crashed process rejoins the cluster as an empty server:
         alive, hosting nothing, with a fresh WAL (its old log segments
         were consumed — or deliberately abandoned — by master failover).
-        Only the master recovery path may move regions back onto it."""
+        Follower replicas it held are gone too — they were pure derived
+        state, and the replication manager rebuilds replacements from
+        the primaries' ship logs. Only the master recovery path may
+        move regions back onto it."""
         if self.alive:
             raise HBaseError(f"server {self.name} is already alive")
         self.regions = {}
+        self.follower_regions = {}
         self.wal.clear()
         self.alive = True
         self.recovered = False

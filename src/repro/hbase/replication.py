@@ -1,0 +1,414 @@
+"""Region replication: WAL shipping, follower reads, promotion-on-crash.
+
+Each replicated region forms a :class:`ReplicationGroup`: the *primary*
+(the region the table descriptor routes to) plus ``replica_count - 1``
+:class:`FollowerReplica` copies hosted on other servers. The group owns
+a **ship log** — the region's complete edit history, fed by a tap on
+the primary's :class:`~repro.hbase.wal.WriteAheadLog` buffer — and each
+follower is exactly a prefix of that log applied to an otherwise empty
+region. That single invariant drives everything:
+
+* **shipping** — the :class:`ReplicationShipper` scheduler daemon (same
+  mechanism as the chaos engine's ``FaultInjector``) drains each
+  follower's pending suffix in batches, advancing its ``applied``
+  watermark; with ``ack_mode="all"`` the write path ships the suffix
+  synchronously before the edit is acknowledged;
+* **follower reads** — a read pinned to a follower's watermark sees the
+  log prefix ``log[:applied]``: a pure subset of acknowledged writes,
+  so a follower can never serve a never-acked or rolled-back value, and
+  the client-side staleness bound is just ``len(log) - applied``;
+* **promotion** — when the primary's server crashes, master failover
+  promotes the most-caught-up live follower (deterministic tie-break
+  through a SimRNG stream) and replays only ``log[applied:]`` — the
+  un-shipped suffix — instead of the dead server's whole pending WAL;
+* **rebuild** — a follower lost with its server is pure derived state:
+  a replacement is a fresh region plus a full log replay.
+
+With ``replica_count=1`` (the default) no manager is created at all:
+no taps, no groups, no daemon — every pre-existing code path and its
+simulated latency stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ReplicationError
+from repro.hbase.region import Region
+from repro.hbase.wal import WalEntry
+from repro.sim.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hbase.cluster import HBaseCluster
+    from repro.hbase.regionserver import RegionServer
+
+
+def _apply_entry(region: Region, entry: WalEntry) -> None:
+    """Apply one shipped/replayed log entry (idempotent: entries carry
+    their original timestamps, so re-application overwrites the same
+    cell version)."""
+    if entry.kind == "put":
+        region.put_row(entry.row, entry.payload, entry.timestamp)
+    else:
+        region.delete_row(entry.row, entry.payload, entry.timestamp)
+
+
+class FollowerReplica:
+    """One follower copy: a region object that is exactly the group's
+    log prefix ``log[:applied]``, hosted in a server's
+    ``follower_regions`` (never in the table descriptor)."""
+
+    __slots__ = ("region", "server", "applied")
+
+    def __init__(
+        self, region: Region, server: "RegionServer", applied: int
+    ) -> None:
+        self.region = region
+        self.server = server
+        self.applied = applied
+
+    def is_live(self) -> bool:
+        return self.server.alive and self.region.online
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FollowerReplica({self.region.name} on {self.server.name}, "
+            f"applied={self.applied})"
+        )
+
+
+class ReplicationGroup:
+    """Primary + followers + complete edit history for one key range."""
+
+    def __init__(self, primary: Region) -> None:
+        self.primary = primary
+        self.log: list[WalEntry] = []
+        self.followers: list[FollowerReplica] = []
+
+    def lag_of(self, follower: FollowerReplica) -> int:
+        return len(self.log) - follower.applied
+
+    def live_followers(self) -> list[FollowerReplica]:
+        return [f for f in self.followers if f.is_live()]
+
+
+class ReplicationManager:
+    """Owns every replication group of one cluster.
+
+    Created by :class:`~repro.hbase.cluster.HBaseCluster` only when
+    ``config.replication.replica_count >= 2``; every hook in the
+    cluster/client layers is guarded on ``cluster.replication is not
+    None``, so the unreplicated simulation never pays for it.
+    """
+
+    def __init__(self, cluster: "HBaseCluster") -> None:
+        self.cluster = cluster
+        self.config = cluster.config.replication
+        if self.config.replica_count < 2:  # pragma: no cover - guarded by cluster
+            raise ReplicationError(
+                f"replica_count={self.config.replica_count}: a manager "
+                "needs at least a primary and one follower"
+            )
+        self.groups: dict[str, ReplicationGroup] = {}
+        """Primary region name -> group (re-keyed on promotion/recovery)."""
+        self._rng = derive_rng(cluster.config.seed, "replication")
+        self.promotions = 0
+        self.followers_rebuilt = 0
+        self.entries_shipped = 0
+
+    # -- group creation ----------------------------------------------------------
+    def replicate_table(self, table_name: str) -> int:
+        """Create one group per region of ``table_name``; returns the
+        number of followers placed. Must run before any write lands:
+        the ship log is the region's *complete* history, which is only
+        true when it starts empty."""
+        desc = self.cluster.descriptor(table_name)
+        placed = 0
+        for region in desc.regions:
+            placed += self._create_group(region)
+        return placed
+
+    def _create_group(self, region: Region) -> int:
+        if region.name in self.groups:
+            raise ReplicationError(f"region {region.name} already replicated")
+        if len(region.memstore) > 0 or region.hfiles:
+            raise ReplicationError(
+                f"region {region.name} is not empty: the ship log must "
+                "start at the region's first edit"
+            )
+        group = ReplicationGroup(region)
+        self.groups[region.name] = group
+        host = self.cluster.server_for(region)
+        host.wal.install_tap(region.name, group.log.append)
+        return self._top_up(group)
+
+    def _follower_hosts(self, group: ReplicationGroup) -> list["RegionServer"]:
+        """Eligible servers for a new follower of ``group``, least
+        follower-loaded first (ties broken by cluster server order —
+        fully deterministic)."""
+        primary_host = self.cluster._region_host.get(group.primary.name)
+        taken = {f.server.name for f in group.followers}
+        out = []
+        for server in self.cluster.servers:
+            if not server.alive or server.name in taken:
+                continue
+            if self.config.anti_affinity and server is primary_host:
+                continue
+            out.append(server)
+        out.sort(key=lambda s: len(s.follower_regions))  # stable sort
+        return out
+
+    def _top_up(self, group: ReplicationGroup) -> int:
+        """Place followers until the group holds ``replica_count - 1``
+        (or the cluster runs out of eligible servers — the group then
+        runs short until :meth:`repair` finds capacity)."""
+        added = 0
+        while len(group.followers) < self.config.replica_count - 1:
+            hosts = self._follower_hosts(group)
+            if not hosts:
+                break
+            server = hosts[0]
+            primary = group.primary
+            region = Region(
+                table_name=primary.table_name,
+                start_key=primary.start_key,
+                end_key=primary.end_key,
+                max_versions=primary.max_versions,
+                kv_overhead_bytes=primary.kv_overhead_bytes,
+                flush_threshold_rows=primary.flush_threshold_rows,
+                # followers never split: the primary drives the layout
+                split_threshold_bytes=None,
+            )
+            for entry in group.log:
+                _apply_entry(region, entry)
+            server.follower_regions[region.name] = region
+            group.followers.append(
+                FollowerReplica(region, server, len(group.log))
+            )
+            added += 1
+        return added
+
+    # -- shipping ------------------------------------------------------------------
+    def ship_pending(self, batch_entries: int | None = None) -> int:
+        """One drain round: push up to ``batch_entries`` log entries to
+        every live lagging follower; returns entries shipped. Group and
+        follower iteration order is insertion order — deterministic."""
+        if batch_entries is None:
+            batch_entries = self.config.ship_batch_entries
+        shipped = 0
+        for group in self.groups.values():
+            log = group.log
+            for follower in group.followers:
+                if not follower.is_live() or follower.applied >= len(log):
+                    continue
+                batch = log[follower.applied : follower.applied + batch_entries]
+                for entry in batch:
+                    _apply_entry(follower.region, entry)
+                follower.applied += len(batch)
+                shipped += len(batch)
+        self.entries_shipped += shipped
+        return shipped
+
+    def after_write(self, region: Region) -> None:
+        """Durable-ack hook, called by the client layer after the
+        primary applied a write. In ``ack_mode="all"`` the un-shipped
+        suffix goes to every live follower synchronously — one ship RPC
+        plus per-entry apply cost charged to the *writing* client —
+        before the write returns (and is acked). ``"primary"`` mode is
+        a no-op here: the shipper daemon catches followers up."""
+        if self.config.ack_mode != "all":
+            return
+        group = self.groups.get(region.name)
+        if group is None:
+            return
+        sim = self.cluster.sim
+        log = group.log
+        for follower in group.followers:
+            if not follower.is_live():
+                continue
+            pending = len(log) - follower.applied
+            if pending <= 0:
+                continue
+            for entry in log[follower.applied :]:
+                _apply_entry(follower.region, entry)
+            follower.applied = len(log)
+            self.entries_shipped += pending
+            sim.charge(
+                sim.cost.rpc_base_ms + self.config.ship_entry_ms * pending,
+                "replication.sync_ship",
+            )
+
+    # -- follower reads ----------------------------------------------------------
+    def follower_for_read(self, region: Region) -> FollowerReplica | None:
+        """The most-caught-up live follower of ``region`` whose lag is
+        within the configured staleness bound, or None (caller falls
+        back to the primary). Ties keep the first-placed follower."""
+        group = self.groups.get(region.name)
+        if group is None:
+            return None
+        best: FollowerReplica | None = None
+        for follower in group.followers:
+            if not follower.is_live():
+                continue
+            if group.lag_of(follower) > self.config.staleness_bound_entries:
+                continue
+            if best is None or follower.applied > best.applied:
+                best = follower
+        return best
+
+    def row_lag(self, region: Region, follower: FollowerReplica, row: bytes) -> int:
+        """Edits to ``row`` still missing from ``follower`` — the exact
+        pinning the staleness oracle checks: the follower's view of the
+        row is its (total - row_lag)-th acknowledged value."""
+        group = self.groups[region.name]
+        return sum(1 for e in group.log[follower.applied :] if e.row == row)
+
+    def missing_rows(
+        self,
+        region: Region,
+        follower: FollowerReplica,
+        start: bytes,
+        stop: bytes | None,
+    ) -> dict[bytes, int]:
+        """Per-row count of un-applied edits inside ``[start, stop)`` at
+        the moment a follower scan window opens (the scan-side staleness
+        pinning)."""
+        group = self.groups[region.name]
+        missing: dict[bytes, int] = {}
+        for e in group.log[follower.applied :]:
+            if e.row >= start and (stop is None or e.row < stop):
+                missing[e.row] = missing.get(e.row, 0) + 1
+        return missing
+
+    # -- promotion & repair --------------------------------------------------------
+    def promote(self, old_primary: Region) -> FollowerReplica | None:
+        """Master failover hook: promote the most-caught-up live
+        follower of ``old_primary`` (ties broken via the manager's
+        SimRNG stream), replaying only the un-shipped log suffix.
+        Returns the promoted replica — already detached from follower
+        hosting, not yet registered as a primary (the cluster does
+        that) — or None when no live follower exists."""
+        group = self.groups.get(old_primary.name)
+        if group is None or group.primary is not old_primary:
+            return None
+        live = group.live_followers()
+        if not live:
+            return None
+        del self.groups[old_primary.name]
+        best_applied = max(f.applied for f in live)
+        tied = [f for f in live if f.applied == best_applied]
+        choice = (
+            tied[int(self._rng.integers(len(tied)))] if len(tied) > 1 else tied[0]
+        )
+        for entry in group.log[choice.applied :]:
+            _apply_entry(choice.region, entry)
+        choice.applied = len(group.log)
+        del choice.server.follower_regions[choice.region.name]
+        group.followers.remove(choice)
+        group.primary = choice.region
+        self.groups[choice.region.name] = group
+        choice.server.wal.install_tap(choice.region.name, group.log.append)
+        self.promotions += 1
+        return choice
+
+    def promotion_replay_estimate(self, old_primary: Region) -> int | None:
+        """Log entries a promotion of ``old_primary`` would replay (the
+        best live follower's lag), or None when the region would take
+        the full-WAL-replay recovery path instead."""
+        group = self.groups.get(old_primary.name)
+        if group is None or group.primary is not old_primary:
+            return None
+        live = group.live_followers()
+        if not live:
+            return None
+        return len(group.log) - max(f.applied for f in live)
+
+    def on_primary_recovered(
+        self, old: Region, fresh: Region, host: "RegionServer"
+    ) -> None:
+        """Re-key a group whose primary took the full-replay recovery
+        path (no live follower to promote): the fresh incarnation is
+        the new primary. Its replayed edits were already tapped when
+        first written, so the log needs nothing."""
+        group = self.groups.pop(old.name, None)
+        if group is None:
+            return
+        group.primary = fresh
+        self.groups[fresh.name] = group
+        host.wal.install_tap(fresh.name, group.log.append)
+
+    def on_region_moved(
+        self, region: Region, source: "RegionServer", target: "RegionServer"
+    ) -> None:
+        """Keep the ship-log tap on the WAL the primary now writes to."""
+        group = self.groups.get(region.name)
+        if group is None:
+            return
+        if self.config.anti_affinity and any(
+            f.server is target for f in group.followers
+        ):
+            raise ReplicationError(
+                f"moving primary {region.name} onto {target.name} would "
+                "co-host it with its own follower"
+            )
+        source.wal.remove_tap(region.name)
+        target.wal.install_tap(region.name, group.log.append)
+
+    def allows_move(self, region: Region, target: "RegionServer") -> bool:
+        """Balancer filter: may ``region`` (if it is a replicated
+        primary) move to ``target`` without violating anti-affinity?"""
+        if not self.config.anti_affinity:
+            return True
+        group = self.groups.get(region.name)
+        if group is None:
+            return True
+        return all(f.server is not target for f in group.followers)
+
+    def repair(self) -> int:
+        """Drop dead followers and rebuild replacements on live servers
+        (fresh region + full log replay). Run after recovery/restart so
+        every group heads back to full strength; returns followers
+        rebuilt."""
+        rebuilt = 0
+        for group in self.groups.values():
+            kept = []
+            for follower in group.followers:
+                if follower.is_live():
+                    kept.append(follower)
+                else:
+                    follower.server.follower_regions.pop(
+                        follower.region.name, None
+                    )
+            group.followers = kept
+            rebuilt += self._top_up(group)
+        self.followers_rebuilt += rebuilt
+        return rebuilt
+
+
+class ReplicationShipper:
+    """Daemon scheduler participant that drains the ship queues.
+
+    Installed like the chaos engine's ``FaultInjector``: a background
+    virtual client whose clock interleaves with the workload by the
+    min-virtual-timestamp rule. Each round ships one batch per lagging
+    follower, charges the per-entry apply cost on its own timeline
+    (asynchronous replication never blocks the writer) and sleeps for
+    the configured ship interval.
+    """
+
+    def __init__(self, manager: ReplicationManager) -> None:
+        self.manager = manager
+
+    def install(self, scheduler):
+        return scheduler.add_client(
+            "replication-shipper", self.program, daemon=True
+        )
+
+    def program(self, vc):
+        config = self.manager.config
+        while True:
+            shipped = self.manager.ship_pending(config.ship_batch_entries)
+            if shipped:
+                vc.clock.advance(shipped * config.ship_entry_ms)
+            vc.clock.advance(config.ship_interval_ms)
+            yield "ship"

@@ -41,17 +41,43 @@ class WalEntry:
         )
 
 
+class _TapBuffer(list):
+    """A per-region WAL buffer with a replication tap: every entry
+    appended is also pushed to the tap callback (the primary-side feed
+    of a replication group's ship log). A ``list`` subclass so the hot
+    batched write path — which binds ``buffer_for(...).append`` once
+    per batch — keeps working unchanged; only regions with a tap
+    installed ever pay the extra call."""
+
+    __slots__ = ("_tap",)
+
+    def __init__(self, tap, initial=()) -> None:
+        super().__init__(initial)
+        self._tap = tap
+
+    def append(self, entry: WalEntry) -> None:
+        list.append(self, entry)
+        self._tap(entry)
+
+
 class WriteAheadLog:
     """Per-server WAL with per-region truncation."""
 
     def __init__(self) -> None:
         self._entries: dict[str, list[WalEntry]] = {}
+        self._taps: dict[str, Any] = {}
         self.total_appends = 0
+
+    def _new_buffer(self, region_name: str) -> list[WalEntry]:
+        tap = self._taps.get(region_name)
+        return [] if tap is None else _TapBuffer(tap)
 
     def append(self, entry: WalEntry) -> None:
         per_region = self._entries.get(entry.region_name)
         if per_region is None:
-            per_region = self._entries[entry.region_name] = []
+            per_region = self._entries[entry.region_name] = (
+                self._new_buffer(entry.region_name)
+            )
         per_region.append(entry)
         self.total_appends += 1
 
@@ -62,8 +88,28 @@ class WriteAheadLog:
         re-fetch after a flush."""
         per_region = self._entries.get(region_name)
         if per_region is None:
-            per_region = self._entries[region_name] = []
+            per_region = self._entries[region_name] = (
+                self._new_buffer(region_name)
+            )
         return per_region
+
+    # -- replication taps ------------------------------------------------------
+    def install_tap(self, region_name: str, tap) -> None:
+        """Feed every future append under ``region_name`` to ``tap``
+        (entries already buffered are NOT replayed — the installer owns
+        catching a follower up from the region's current state). The
+        tap survives flush truncation: a fresh buffer created after
+        :meth:`truncate` is tapped again."""
+        self._taps[region_name] = tap
+        existing = self._entries.get(region_name)
+        if existing is not None and not isinstance(existing, _TapBuffer):
+            self._entries[region_name] = _TapBuffer(tap, existing)
+
+    def remove_tap(self, region_name: str) -> None:
+        self._taps.pop(region_name, None)
+        existing = self._entries.get(region_name)
+        if isinstance(existing, _TapBuffer):
+            self._entries[region_name] = list(existing)
 
     def entries_for(self, region_name: str) -> list[WalEntry]:
         return list(self._entries.get(region_name, ()))
@@ -105,15 +151,24 @@ class WriteAheadLog:
             if e.row < start or (stop is not None and e.row >= stop)
         ]
         if kept:
-            self._entries[region_name] = kept
+            tap = self._taps.get(region_name)
+            # rebuild without re-tapping: the kept entries were already
+            # fed to the tap when they were first appended
+            self._entries[region_name] = (
+                kept if tap is None else _TapBuffer(tap, kept)
+            )
         else:
             del self._entries[region_name]
 
     def clear(self) -> None:
         """Drop every buffered entry (server restart after failover:
         the old log was already replayed — or abandoned — elsewhere).
+        Replication taps are dropped too — a restarted server hosts
+        nothing, so any tap left here points at a region that was
+        promoted or recovered onto another server's log.
         ``total_appends`` is lifetime accounting and survives."""
         self._entries = {}
+        self._taps = {}
 
     def pending_count(self, region_name: str | None = None) -> int:
         if region_name is not None:

@@ -49,11 +49,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, ReplicationConfig
 from repro.errors import RegionRetriesExhaustedError, RegionUnavailableError
 from repro.hbase.client import HBaseClient, HTable
 from repro.hbase.cluster import HBaseCluster
 from repro.hbase.ops import Get, Put, Scan
+from repro.hbase.replication import ReplicationShipper
 from repro.sim.clock import Simulation
 from repro.sim.rng import derive_rng
 from repro.sim.scheduler import (
@@ -89,6 +90,16 @@ class FaultConfig:
 
     interval_jitter: float = 0.5
     """Uniform +-fraction applied to each crash gap (seeded draws)."""
+
+    recovery_replay_ms_per_entry: float = 0.0
+    """Virtual cost per WAL/ship-log entry master failover must replay,
+    charged on the injector's clock *before* the recover event fires —
+    stretching the unavailability window by the amount of state to
+    replay. This is the knob that makes replication measurable: a
+    promoted follower replays only its un-shipped log suffix, an
+    unreplicated region the crashed server's whole pending WAL. 0.0
+    (the default) keeps recovery instantaneous and every pre-existing
+    chaos run byte-identical."""
 
     label: str = "faults"
     """SimRNG stream label; also namespaces the per-client op streams."""
@@ -170,6 +181,16 @@ class ScanObservation:
     stop_row: bytes | None
     rows: list[tuple[bytes, bytes]]
 
+    max_entry_lag: int = 0
+    """Largest applied-watermark lag of any follower that served one of
+    this scan's region windows (0 when every window hit a primary)."""
+
+    missing_rows: dict = field(default_factory=dict)
+    """row -> acked-but-unapplied edit count on the serving follower at
+    the moment its window opened. The staleness oracle permits a row to
+    be absent from the scan only when *every* pre-scan edit to it was
+    still unapplied — i.e. this count covers them all."""
+
 
 class ChaosHistory:
     """Execution-order record of everything a chaos run observed.
@@ -185,12 +206,21 @@ class ChaosHistory:
         self._seq = 0
         self.acked: list[tuple[int, bytes, bytes]] = []
         self.gets: list[tuple[int, bytes, bytes | None]] = []
+        self.follower_gets: list[tuple[int, bytes, bytes | None, int, int]] = []
+        """Gets served by a region replica, with the staleness pinning:
+        ``(seq, row, value, row_lag, entry_lag)`` — at read time the
+        follower had not applied the last ``row_lag`` edits to ``row``
+        (and lagged the ship log by ``entry_lag`` entries overall), so
+        the oracle knows *exactly* which acked value the read must have
+        returned, not merely that it was some past value."""
         self.scans: list[ScanObservation] = []
         self.events: list[dict[str, Any]] = []
         self.crash_count = 0
         self.recover_count = 0
         self.restart_count = 0
         self.regions_recovered = 0
+        self.follower_scan_windows = 0
+        """Scan region-windows served by a follower replica."""
         self.failover_retries = 0
         self.stalls_ms: list[float] = []
         """Client-observed failover stalls: first failed attempt of an
@@ -205,6 +235,13 @@ class ChaosHistory:
 
     def record_get(self, row: bytes, value: bytes | None) -> None:
         self.gets.append((self.next_seq(), row, value))
+
+    def record_follower_get(
+        self, row: bytes, value: bytes | None, row_lag: int, entry_lag: int
+    ) -> None:
+        self.follower_gets.append(
+            (self.next_seq(), row, value, row_lag, entry_lag)
+        )
 
     def record_event(
         self, at_ms: float, kind: str, server: str, regions: int
@@ -246,11 +283,25 @@ class FaultInjector:
 
     def program(self, vc: VirtualClient):
         servers = {s.name: s for s in self.cluster.servers}
+        replay_cost = self.config.recovery_replay_ms_per_entry
         for event in self.plan:
             gap = event.at_ms - vc.clock.now_ms
             if gap > 0:
                 vc.clock.advance(gap)
             yield f"fault:{event.kind}"
+            if replay_cost > 0.0 and event.kind == "recover":
+                # replay takes time proportional to the state recovery
+                # must re-apply — a promoted follower's log suffix, or
+                # the whole pending WAL without replication — and the
+                # region stays unavailable while it runs. Gated on the
+                # cost being nonzero so default chaos runs keep their
+                # exact pre-existing event interleaving.
+                entries = self.cluster.recovery_replay_estimate(
+                    servers[event.server]
+                )
+                if entries > 0:
+                    vc.clock.advance(entries * replay_cost)
+                    yield "fault:recovery-replay"
             self._apply(event, servers[event.server], vc)
 
     def _apply(self, event: FaultEvent, server, vc: VirtualClient) -> None:
@@ -356,7 +407,11 @@ def chaos_get(
     def attempt() -> None:
         result = handle.get(Get(row))
         value = None if result is None else result.value(FAMILY, QUALIFIER)
-        history.record_get(row, value)
+        lag = handle.last_follower_lag if handle.follower_reads else None
+        if lag is not None:
+            history.record_follower_get(row, value, lag[0], lag[1])
+        else:
+            history.record_get(row, value)
 
     yield from _with_failover(vc, history, policy, attempt, f"get {row!r}")
 
@@ -382,6 +437,8 @@ def chaos_scan(
     """
     start_seq = history.next_seq()
     rows: list[tuple[bytes, bytes]] = []
+    if handle.follower_reads:
+        handle.follower_scan_lag = []  # this logical scan's windows only
     cursor = start_row
     failures = 0
     first_failure_at: float | None = None
@@ -419,8 +476,28 @@ def chaos_scan(
             history.failover_retries += 1
             vc.clock.advance(policy.retry_backoff_ms * failures)
             yield "failover-wait"
+    max_entry_lag = 0
+    missing: dict[bytes, int] = {}
+    if handle.follower_reads and handle.follower_scan_lag:
+        history.follower_scan_windows += len(handle.follower_scan_lag)
+        # merge the per-window staleness pinnings; a row served by two
+        # windows (failover resume) keeps its largest unapplied count
+        for entry_lag, window_missing in handle.follower_scan_lag:
+            max_entry_lag = max(max_entry_lag, entry_lag)
+            for missing_row, count in window_missing.items():
+                if count > missing.get(missing_row, 0):
+                    missing[missing_row] = count
+        handle.follower_scan_lag = []
     history.scans.append(
-        ScanObservation(start_seq, history.next_seq(), start_row, stop_row, rows)
+        ScanObservation(
+            start_seq,
+            history.next_seq(),
+            start_row,
+            stop_row,
+            rows,
+            max_entry_lag,
+            missing,
+        )
     )
 
 
@@ -469,9 +546,24 @@ def build_chaos_ops(
 
 
 # ------------------------------------------------------------------ invariants
-def check_invariants(history: ChaosHistory, table: HTable) -> list[str]:
+def check_invariants(
+    history: ChaosHistory,
+    table: HTable,
+    staleness_bound: int | None = None,
+) -> list[str]:
     """Replay the recorded history against the post-chaos state and
-    return every violated invariant (empty list = clean run)."""
+    return every violated invariant (empty list = clean run).
+
+    With replication active, ``staleness_bound`` adds the staleness
+    axis: every follower-served observation must stay within the
+    configured entry-lag bound, every follower get must have returned
+    *exactly* the acked value its recorded row-lag pins it to (sound
+    because the single-threaded simulator acks a write in the segment
+    that applied it, so ship-log order per row equals ack order — a
+    follower's view of a row is precisely its k-th-latest acked value),
+    and a scan may miss a row only when its serving follower's recorded
+    pinning shows every pre-scan edit to that row was still unapplied.
+    """
     violations: list[str] = []
 
     # durability / serial-replay equivalence: applying the acked writes
@@ -519,6 +611,35 @@ def check_invariants(history: ChaosHistory, table: HTable) -> list[str]:
                 "before the read"
             )
 
+    # follower gets: pinned-prefix exactness. The recorded row_lag says
+    # the serving follower had applied all but the last row_lag edits to
+    # the row, so the read must have returned exactly the
+    # (row_lag+1)-th-latest acked value — or nothing, when every edit
+    # was still unapplied. Anything else is a staleness violation: a
+    # never-acked value, a value newer than the watermark allows, or
+    # one older than the pinning guarantees.
+    for seq, row, value, row_lag, entry_lag in history.follower_gets:
+        acks = [v for s, v in acked_by_row.get(row, ()) if s < seq]
+        if len(acks) > row_lag:
+            pinned = acks[-(row_lag + 1)]
+            if value != pinned:
+                violations.append(
+                    f"staleness: follower get({row!r}) at seq {seq} "
+                    f"observed {value!r}, watermark (row_lag={row_lag}) "
+                    f"pins it to {pinned!r}"
+                )
+        elif value is not None:
+            violations.append(
+                f"staleness: follower get({row!r}) at seq {seq} observed "
+                f"{value!r} though its watermark predates every acked "
+                "write to the row"
+            )
+        if staleness_bound is not None and entry_lag > staleness_bound:
+            violations.append(
+                f"staleness: follower get({row!r}) at seq {seq} served "
+                f"at entry lag {entry_lag} > bound {staleness_bound}"
+            )
+
     # scans: sorted, no duplication, no phantom values, no loss of rows
     # acked before the scan started
     for i, scan in enumerate(history.scans):
@@ -534,18 +655,32 @@ def check_invariants(history: ChaosHistory, table: HTable) -> list[str]:
                     f"scan[{i}]: row {row!r} delivered {value!r}, never "
                     "acked before the scan ended"
                 )
+        if staleness_bound is not None and scan.max_entry_lag > staleness_bound:
+            violations.append(
+                f"scan[{i}]: follower window served at entry lag "
+                f"{scan.max_entry_lag} > bound {staleness_bound}"
+            )
         seen = {row for row, _value in scan.rows}
+        pre_start_acks: dict[bytes, int] = {}
         for seq, row, _value in history.acked:
             if seq >= scan.start_seq:
                 break  # acked is in seq order
+            pre_start_acks[row] = pre_start_acks.get(row, 0) + 1
+        for row, count in pre_start_acks.items():
             in_window = scan.start_row <= row and (
                 scan.stop_row in (None, b"") or row < scan.stop_row
             )
-            if in_window and row not in seen:
-                violations.append(
-                    f"scan[{i}]: row {row!r} (acked before the scan "
-                    "started) was not delivered"
-                )
+            if not in_window or row in seen:
+                continue
+            if scan.missing_rows.get(row, 0) >= count:
+                # a follower window's recorded pinning shows every
+                # pre-scan edit to this row was still unapplied: the
+                # bounded-staleness contract allows the omission
+                continue
+            violations.append(
+                f"scan[{i}]: row {row!r} (acked before the scan "
+                "started) was not delivered"
+            )
     return violations
 
 
@@ -562,9 +697,15 @@ class ChaosRun:
     the workload finished (the injector daemon was wound down before
     its recover event fired)."""
 
+    replication: dict[str, Any] | None = None
+    """Replication counters (promotions, entries shipped, follower-read
+    counts...) when the cell ran with ``replica_count >= 2``; None —
+    and absent from :meth:`as_dict`, keeping unreplicated JSON
+    byte-identical to pre-replication builds — otherwise."""
+
     def as_dict(self) -> dict[str, Any]:
         h = self.history
-        return {
+        out = {
             "makespan_ms": self.report.makespan_ms,
             "committed": self.report.committed,
             "crashes": h.crash_count,
@@ -576,6 +717,9 @@ class ChaosRun:
             "quiesce_recoveries": self.quiesce_recoveries,
             "violations": list(self.violations),
         }
+        if self.replication is not None:
+            out["replication"] = dict(self.replication)
+        return out
 
 
 @dataclass
@@ -602,6 +746,7 @@ def run_chaos_cell(
     fault_config: FaultConfig | None = None,
     policy: FailoverPolicy | None = None,
     seed: int = 20170904,
+    replication: ReplicationConfig | None = None,
 ) -> ChaosRun:
     """Build a cluster, preload it, and drive ``clients`` chaos clients
     against it while a :class:`FaultInjector` crashes and recovers
@@ -611,6 +756,13 @@ def run_chaos_cell(
     (every crash takes real data offline). All randomness flows through
     ``derive_rng(seed, ...)`` streams and all timing is virtual, so two
     runs with the same arguments are byte-identical.
+
+    Pass a ``replication`` config with ``replica_count >= 2`` to run
+    the replicated variant: regions get followers before the preload,
+    a :class:`~repro.hbase.replication.ReplicationShipper` daemon
+    drains the ship queues alongside the fault injector, chaos clients
+    read with bounded-staleness follower reads, and
+    :func:`check_invariants` additionally enforces the staleness axis.
     """
     spec = _ChaosCellSpec(
         num_servers=num_servers,
@@ -623,10 +775,16 @@ def run_chaos_cell(
         seed=seed,
     )
     sim = Simulation(seed=spec.seed)
-    cluster = HBaseCluster(
-        sim,
-        ClusterConfig(num_region_servers=spec.num_servers, seed=spec.seed),
+    cluster_config = ClusterConfig(
+        num_region_servers=spec.num_servers, seed=spec.seed
     )
+    if replication is not None:
+        cluster_config = ClusterConfig(
+            num_region_servers=spec.num_servers,
+            seed=spec.seed,
+            replication=replication,
+        )
+    cluster = HBaseCluster(sim, cluster_config)
     client = HBaseClient(cluster)
     key_space = spec.preload_rows
     num_regions = max(2 * spec.num_servers, 2)
@@ -637,6 +795,10 @@ def run_chaos_cell(
     table = client.create_table(
         "chaos", families=(FAMILY,), split_keys=split_keys
     )
+    if cluster.replication is not None:
+        # followers must exist before the first edit: the ship log is
+        # the region's complete history
+        cluster.replication.replicate_table("chaos")
     history = ChaosHistory()
     puts = []
     for i in range(key_space):
@@ -657,7 +819,9 @@ def run_chaos_cell(
         ops = build_chaos_ops(
             rng, spec.ops_per_client, key_space, spec.scan_window
         )
-        handle = HTable(cluster, "chaos")
+        handle = HTable(
+            cluster, "chaos", follower_reads=cluster.replication is not None
+        )
         tag = (b"c%02d" % i)
 
         def program(vc, handle=handle, ops=ops, tag=tag):
@@ -668,6 +832,8 @@ def run_chaos_cell(
         scheduler.add_client(f"chaos-{i}", program)
     injector = FaultInjector(cluster, spec.fault_config, history)
     injector.install(scheduler)
+    if cluster.replication is not None:
+        ReplicationShipper(cluster.replication).install(scheduler)
     report = scheduler.run()
 
     # quiesce: if the workload finished inside a failover window the
@@ -678,5 +844,27 @@ def run_chaos_cell(
         if not server.alive and not server.recovered:
             history.regions_recovered += cluster.recover_server(server)
             quiesce += 1
-    violations = check_invariants(history, HTable(cluster, "chaos"))
-    return ChaosRun(report, history, violations, quiesce_recoveries=quiesce)
+    staleness_bound = None
+    replication_stats = None
+    manager = cluster.replication
+    if manager is not None:
+        staleness_bound = manager.config.staleness_bound_entries
+        replication_stats = {
+            "replica_count": manager.config.replica_count,
+            "ack_mode": manager.config.ack_mode,
+            "promotions": manager.promotions,
+            "followers_rebuilt": manager.followers_rebuilt,
+            "entries_shipped": manager.entries_shipped,
+            "follower_gets": len(history.follower_gets),
+            "follower_scan_windows": history.follower_scan_windows,
+        }
+    violations = check_invariants(
+        history, HTable(cluster, "chaos"), staleness_bound=staleness_bound
+    )
+    return ChaosRun(
+        report,
+        history,
+        violations,
+        quiesce_recoveries=quiesce,
+        replication=replication_stats,
+    )

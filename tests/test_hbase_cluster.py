@@ -311,6 +311,28 @@ class TestRelocationRetryBudget:
     def test_exhaustion_error_is_a_region_unavailable_error(self):
         assert issubclass(RegionRetriesExhaustedError, RegionUnavailableError)
 
+    def test_budget_is_configurable_via_cluster_config(self):
+        """A non-default ``max_location_retries`` flows from the
+        ClusterConfig onto every handle and bounds the meta-retry loop
+        at exactly that budget."""
+        sim = Simulation(seed=5)
+        cluster = HBaseCluster(
+            sim, ClusterConfig(num_region_servers=2, max_location_retries=3)
+        )
+        client = HBaseClient(cluster)
+        table = client.create_table("t", families=(CF,), split_keys=[b"m"])
+        assert table.MAX_LOCATION_RETRIES == 3
+        for i in range(4):
+            put(table, b"a%d" % i, v=b"x")
+        parent = table._locate(b"a0")
+        cluster.split_region(parent)
+        table._locate = lambda row: parent
+        rpc_before = sim.metrics.counters().get("client.rpc", 0)
+        with pytest.raises(RegionRetriesExhaustedError):
+            table.get(Get(b"a0"))
+        paid = sim.metrics.counters()["client.rpc"] - rpc_before
+        assert paid == 2 * 3  # failed RPC + meta lookup per attempt
+
     def test_put_batch_relocation_is_bounded_too(self, cluster, client, table):
         """The batched write path shares the bounded budget: it must
         not recurse forever (or overflow the stack) when a group's

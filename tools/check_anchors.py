@@ -12,12 +12,30 @@ virtual time derived from seeded draws, so any difference means an
 engine change altered the simulated cost model, not noise. Points only
 one side measured (e.g. a reduced ``--micro-scales`` sweep) are skipped
 but counted, so the job log shows the coverage.
+
+Every drifted anchor is reported (one ``DRIFT:`` line each, with the
+exact fields that moved) before the nonzero exit, so a single CI run
+shows the full blast radius of a cost-model change instead of only its
+first casualty.
 """
 
 import json
 import sys
 
 ANCHOR_EXPERIMENTS = ("Fig10a", "Fig10b", "Fig11", "Fig12", "Fig14", "TableII")
+
+
+def _describe_drift(stat, base_stat) -> str:
+    """Name exactly which statistic fields moved, field by field; falls
+    back to the raw repr for non-dict (malformed) entries."""
+    if not isinstance(stat, dict) or not isinstance(base_stat, dict):
+        return f"{stat!r} != {base_stat!r}"
+    parts = []
+    for key in sorted(set(stat) | set(base_stat)):
+        ours, theirs = stat.get(key), base_stat.get(key)
+        if ours != theirs:
+            parts.append(f"{key}: {ours!r} != baseline {theirs!r}")
+    return "; ".join(parts) if parts else f"{stat!r} != {base_stat!r}"
 
 
 def compare(current: dict, baseline: dict) -> int:
@@ -38,7 +56,10 @@ def compare(current: dict, baseline: dict) -> int:
                     continue
                 checked += 1
                 if stat != base_stat:
-                    failures.append(f"{experiment}/{label}/{x}: {stat} != {base_stat}")
+                    failures.append(
+                        f"{experiment}/{label}/{x}: "
+                        + _describe_drift(stat, base_stat)
+                    )
     print(f"anchors checked: {checked}, skipped (not in both runs): {skipped}")
     if not checked:
         print("error: no overlapping anchor points found", file=sys.stderr)
