@@ -9,17 +9,20 @@ metric). ``--baseline-json PATH`` merges a previously emitted file in
 as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
-storage, concurrency, scaleout, faults, replication``) — handy for
-quick perf checks.
+storage, concurrency, scaleout, faults, replication,
+orchestration``) — handy for quick perf checks.
 
-``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``
-and ``replication``) emits a fully deterministic trajectory
-(virtual-time metrics only, no wall-clock entries): two runs with the
-same seed produce byte-identical JSON. The ``faults`` experiment
-additionally verifies the chaos invariants (no acked write lost, no
-scan duplication/loss) and aborts on any violation; ``replication``
-sweeps replica count x crash rate with a nonzero recovery-replay cost
-and further enforces the bounded-staleness follower-read oracle.
+``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``,
+``replication`` and ``orchestration``) emits a fully deterministic
+trajectory (virtual-time metrics only, no wall-clock entries): two
+runs with the same seed produce byte-identical JSON. The ``faults``
+experiment additionally verifies the chaos invariants (no acked write
+lost, no scan duplication/loss) and aborts on any violation;
+``replication`` sweeps replica count x crash rate with a nonzero
+recovery-replay cost and further enforces the bounded-staleness
+follower-read oracle; ``orchestration`` drives a staged rolling
+scale-out (plan -> diff -> apply/verify/commit) through the same
+chaos harness and aborts if any stage fails to commit.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from repro.bench.experiments import (
     run_fig12,
     run_fig13,
     run_fig14,
+    run_orchestration,
     run_replication,
     run_scaleout,
     run_storage_perf,
@@ -49,6 +53,7 @@ from repro.bench.tpcw_lab import TpcwLab
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
     "table2", "table3", "concurrency", "scaleout", "faults", "replication",
+    "orchestration",
 )
 
 
@@ -101,6 +106,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--replication-ops", type=int, default=48,
                         help="operations per virtual client in the "
                              "replication experiment")
+    parser.add_argument("--orchestration-cycles", type=str, default="0,2",
+                        help="comma-separated crash cycle counts for the "
+                             "orchestration experiment (0 = no chaos)")
+    parser.add_argument("--orchestration-clients", type=int, default=4,
+                        help="virtual clients in the orchestration experiment")
+    parser.add_argument("--orchestration-ops", type=int, default=48,
+                        help="operations per virtual client in the "
+                             "orchestration experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -239,6 +252,23 @@ def main(argv: list[str] | None = None) -> int:
             replication_cycles,
             clients=args.replication_clients,
             ops_per_client=args.replication_ops,
+            progress=say,
+        ).values():
+            record(r)
+    if "orchestration" in selected:
+        # rolling-operations trajectory: virtual-time metrics only,
+        # never wall-clock timed, so the emitted JSON is byte-identical
+        # across runs; an uncommitted stage or any durability/layout
+        # violation aborts the run
+        orchestration_cycles = tuple(
+            int(s)
+            for s in args.orchestration_cycles.split(",")
+            if s.strip() and int(s) >= 0
+        )
+        for r in run_orchestration(
+            orchestration_cycles,
+            clients=args.orchestration_clients,
+            ops_per_client=args.orchestration_ops,
             progress=say,
         ).values():
             record(r)

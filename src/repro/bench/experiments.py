@@ -1085,3 +1085,295 @@ def run_table3(lab: TpcwLab, progress=None) -> ExperimentResult:
         "=> ratios vs Baseline: 0.73 / 2.10 / 2.10 / 1.04 / 1.00"
     )
     return result
+
+
+# ----------------------------------------------------------- orchestration
+def run_orchestration_cell(
+    cycles: int,
+    clients: int = 4,
+    ops_per_client: int = 48,
+    preload_rows: int = 120,
+    seed: int = 20170904,
+    with_rollout: bool = True,
+    target_servers: int = 4,
+    target_replicas: int = 3,
+    rollout_start_ms: float = 10.0,
+):
+    """One orchestration chaos cell: a closed-loop chaos workload rides
+    through a staged rolling scale-out (add servers -> raise replicas ->
+    rebalance) while the fault injector crashes region servers.
+
+    Starts from a 2-server cluster with ``replica_count=2`` on a
+    pre-split, preloaded table; the orchestrator joins the scheduler as
+    a non-daemon participant, so rollout steps interleave with client
+    ops and fault events at their virtual timestamps. After the run the
+    full durability + staleness oracle and the cluster-layout
+    invariants are checked. Everything derives from virtual time and
+    seeded draws: reruns are byte-identical.
+
+    Returns ``(scheduler_report, rollout_report_or_None, history,
+    violations, layout_issues)``.
+    """
+    from repro.hbase.replication import ReplicationShipper
+    from repro.orchestration import (
+        ClusterPlan,
+        Orchestrator,
+        RolloutPolicy,
+        TablePlan,
+        verify_cluster,
+    )
+    from repro.sim.faults import (
+        FAMILY,
+        QUALIFIER,
+        ChaosHistory,
+        FailoverPolicy,
+        FaultInjector,
+        build_chaos_ops,
+        chaos_client_program,
+        check_invariants,
+    )
+
+    sim = Simulation(seed=seed)
+    cluster = HBaseCluster(sim, ClusterConfig(
+        num_region_servers=2,
+        seed=seed,
+        replication=ReplicationConfig(replica_count=2),
+    ))
+    client = HBaseClient(cluster)
+    split_keys = [b"%08d" % (preload_rows * i // 4) for i in range(1, 4)]
+    table = client.create_table("orch", families=(FAMILY,), split_keys=split_keys)
+    # followers must exist before the first edit: the ship log is the
+    # region's complete history
+    cluster.replication.replicate_table("orch")
+    history = ChaosHistory()
+    puts = []
+    for i in range(preload_rows):
+        row = b"%08d" % i
+        value = b"seed-%06d" % i
+        history.record_ack(row, value)
+        puts.append(Put(row).add(FAMILY, QUALIFIER, value))
+    table.put_batch(puts)
+    sim.reset_clock()
+
+    scheduler = DeterministicScheduler(sim)
+    policy = FailoverPolicy()
+    for i in range(clients):
+        rng = derive_rng(seed, f"orchestration/chaos-client-{i}")
+        ops = build_chaos_ops(rng, ops_per_client, preload_rows, 16)
+        handle = HTable(cluster, "orch", follower_reads=True)
+        tag = b"c%02d" % i
+
+        def program(vc, handle=handle, ops=ops, tag=tag):
+            yield from chaos_client_program(
+                vc, handle, ops, history, policy, tag
+            )
+
+        scheduler.add_client(f"chaos-{i}", program)
+    injector = FaultInjector(
+        cluster, FaultConfig(cycles=cycles, label="orchestration"), history
+    )
+    injector.install(scheduler)
+    ReplicationShipper(cluster.replication).install(scheduler)
+
+    orchestrator = None
+    if with_rollout:
+        plan = ClusterPlan(
+            servers=target_servers,
+            tables={"orch": TablePlan(replicas=target_replicas)},
+            balance="load-aware",
+        )
+        orchestrator = Orchestrator(
+            cluster, plan=plan,
+            policy=RolloutPolicy(start_delay_ms=rollout_start_ms),
+        )
+        orchestrator.install(scheduler)
+    report = scheduler.run()
+
+    # quiesce: finish any failover the injector never got to
+    for server in cluster.servers:
+        if not server.alive and not server.recovered:
+            history.regions_recovered += cluster.recover_server(server)
+    violations = check_invariants(
+        history, HTable(cluster, "orch"),
+        staleness_bound=cluster.replication.config.staleness_bound_entries,
+    )
+    # a workload can end mid-outage (crashed process not yet
+    # restarted): short replication groups are then expected transient
+    # state, not corruption — only *fatal* layout issues gate the cell
+    _transient, fatal = verify_cluster(cluster)
+    rollout = orchestrator.report if orchestrator is not None else None
+    return report, rollout, history, violations, fatal
+
+
+def run_orchestration(
+    cycle_counts: tuple[int, ...] = (0, 2),
+    clients: int = 4,
+    ops_per_client: int = 48,
+    seed: int = 20170904,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Rolling-operations experiment: staged scale-out under chaos.
+
+    Each cell drives the same chaos workload twice — once with the
+    orchestrated rollout (2 -> 4 servers, 2 -> 3 replicas, rebalance)
+    installed and once without — at each crash-cycle count. Reported:
+    rollout duration (virtual ms, only the rollout runs) and client p99
+    with vs without the rollout, so the cost a rolling operation
+    imposes on the workload is the visible delta. Any durability /
+    staleness / layout violation, or a stage that fails to commit,
+    aborts the experiment. Byte-identical across reruns.
+    """
+    say = progress or (lambda _m: None)
+    results = {
+        "duration": ExperimentResult(
+            "OrchestrationDuration",
+            "Staged rollout duration vs injected crash cycles",
+            "crash cycles",
+            unit="virtual ms",
+        ),
+        "p99": ExperimentResult(
+            "OrchestrationP99",
+            "Client p99 op response time, with vs without a rolling rollout",
+            "crash cycles",
+        ),
+    }
+    for r in results.values():
+        r.x_values = list(cycle_counts)
+    duration_series = results["duration"].add_series("staged rollout")
+    p99_with = results["p99"].add_series("with rollout")
+    p99_without = results["p99"].add_series("no rollout")
+    notes: list[str] = []
+    for cycles in cycle_counts:
+        say(f"[orchestration] rollout under {cycles} crash cycles")
+        report, rollout, history, violations, layout = run_orchestration_cell(
+            cycles, clients=clients, ops_per_client=ops_per_client, seed=seed,
+        )
+        if violations or layout:
+            raise RuntimeError(
+                f"orchestration cell ({cycles} cycles) violated invariants: "
+                f"{violations + layout}"
+            )
+        if rollout.status != "committed":
+            raise RuntimeError(
+                f"orchestration cell ({cycles} cycles): rollout "
+                f"{rollout.status}, stages "
+                f"{[(s.name, s.status, s.error) for s in rollout.stages]}"
+            )
+        base_report, _, _, base_violations, base_layout = (
+            run_orchestration_cell(
+                cycles, clients=clients, ops_per_client=ops_per_client,
+                seed=seed, with_rollout=False,
+            )
+        )
+        if base_violations or base_layout:
+            raise RuntimeError(
+                f"orchestration baseline ({cycles} cycles) violated "
+                f"invariants: {base_violations + base_layout}"
+            )
+        duration_series.set(
+            cycles, Stat(rollout.duration_ms, 0.0, len(rollout.stages))
+        )
+        rts = report.response_times
+        base_rts = base_report.response_times
+        p99_with.set(
+            cycles, Stat(percentile(rts, 0.99) if rts else 0.0, 0.0, len(rts))
+        )
+        p99_without.set(
+            cycles,
+            Stat(
+                percentile(base_rts, 0.99) if base_rts else 0.0,
+                0.0, len(base_rts),
+            ),
+        )
+        notes.append(
+            f"{cycles} cycles: {rollout.committed_stages}/"
+            f"{len(rollout.stages)} stages committed in "
+            f"{rollout.duration_ms:.2f} virtual ms, "
+            f"{history.crash_count} crashes ridden out, "
+            f"{rollout.as_dict()['stages'][-1]['epoch']} layout epochs, "
+            "0 violations (durability + staleness + layout)"
+        )
+    config_note = (
+        f"2 -> 4 servers, 2 -> 3 replicas + load-aware rebalance; "
+        f"{clients} clients x {ops_per_client} ops (55/30/15 put/get/scan), "
+        f"seed {seed}; orchestrator is a scheduler participant "
+        "(steps interleave with chaos at virtual timestamps)"
+    )
+    for r in results.values():
+        r.note(config_note)
+        for note in notes:
+            r.note(note)
+    return results
+
+
+def orchestration_smoke(
+    cycles: int = 2,
+    clients: int = 4,
+    ops_per_client: int = 64,
+    seed: int = 20170904,
+) -> dict[str, int]:
+    """CI smoke: one 3-stage rollout (add servers -> raise replicas ->
+    rebalance) under chaos; returns the rollout and invariant counters
+    (the job asserts every stage committed with zero violations)."""
+    report, rollout, history, violations, layout = run_orchestration_cell(
+        cycles, clients=clients, ops_per_client=ops_per_client, seed=seed,
+    )
+    return {
+        "stages_committed": rollout.committed_stages,
+        "stages_total": len(rollout.stages),
+        "rollout_committed": int(rollout.status == "committed"),
+        "crashes": history.crash_count,
+        "recoveries": history.recover_count,
+        "failover_retries": history.failover_retries,
+        "committed_ops": report.committed,
+        "violations": len(violations),
+        "layout_issues": len(layout),
+    }
+
+
+def orchestration_rollback_smoke(seed: int = 20170904) -> dict[str, int]:
+    """CI fault drill: a stage that mixes real steps with a poisoned
+    step must roll back to *exactly* the pre-rollout state — compared
+    row-for-row (cell snapshots) and by layout fingerprint."""
+    from repro.orchestration import (
+        AddServers,
+        Orchestrator,
+        PoisonStep,
+        SetReplicas,
+        SplitRegion,
+        cluster_snapshot,
+    )
+    from repro.sim.faults import FAMILY, QUALIFIER
+
+    sim = Simulation(seed=seed)
+    cluster = HBaseCluster(
+        sim, ClusterConfig(num_region_servers=2, seed=seed)
+    )
+    client = HBaseClient(cluster)
+    table = client.create_table("drill", families=(FAMILY,))
+    puts = []
+    for i in range(60):
+        puts.append(
+            Put(b"%08d" % i).add(FAMILY, QUALIFIER, b"v-%06d" % i)
+        )
+    table.put_batch(puts)
+    client.create_table("empty", families=(FAMILY,))
+    before_rows = cluster_snapshot(cluster)
+    before_layout = cluster.layout_fingerprint()
+    orch = Orchestrator(cluster, stages=[
+        ("1:drill", [
+            AddServers(2),
+            SplitRegion("drill", b"%08d" % 30),
+            SetReplicas("empty", 2),
+            PoisonStep(),
+        ]),
+    ])
+    rollout = orch.run()
+    rows_intact = cluster_snapshot(cluster) == before_rows
+    layout_intact = cluster.layout_fingerprint() == before_layout
+    return {
+        "rolled_back": int(rollout.status == "rolled-back"),
+        "stages_total": len(rollout.stages),
+        "rows_intact": int(rows_intact),
+        "layout_intact": int(layout_intact),
+    }

@@ -29,6 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from repro.errors import ClusterConfigError
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -170,6 +172,26 @@ class ReplicationConfig:
     placement excludes the primary's server, and the balancer refuses
     moves that would land a primary on a server holding its follower."""
 
+    def __post_init__(self) -> None:
+        if self.replica_count < 1:
+            raise ClusterConfigError(
+                f"replica_count must be >= 1, got {self.replica_count}"
+            )
+        if self.ship_batch_entries < 1:
+            raise ClusterConfigError(
+                f"ship_batch_entries must be >= 1, got "
+                f"{self.ship_batch_entries}"
+            )
+        if self.ack_mode not in ("primary", "all"):
+            raise ClusterConfigError(
+                f"ack_mode must be 'primary' or 'all', got {self.ack_mode!r}"
+            )
+        if self.staleness_bound_entries < 0:
+            raise ClusterConfigError(
+                f"staleness_bound_entries must be >= 0, got "
+                f"{self.staleness_bound_entries}"
+            )
+
 
 DEFAULT_REPLICATION_CONFIG = ReplicationConfig()
 
@@ -202,6 +224,31 @@ class ClusterConfig:
     cost: CostModel = field(default_factory=CostModel)
 
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_region_servers < 1:
+            raise ClusterConfigError(
+                f"num_region_servers must be >= 1, got "
+                f"{self.num_region_servers}"
+            )
+        if self.regions_per_table < 1:
+            raise ClusterConfigError(
+                f"regions_per_table must be >= 1, got {self.regions_per_table}"
+            )
+        if (
+            self.region_split_threshold_bytes is not None
+            and self.region_split_threshold_bytes <= 0
+        ):
+            raise ClusterConfigError(
+                f"region_split_threshold_bytes must be positive (or None "
+                f"to disable splitting), got "
+                f"{self.region_split_threshold_bytes}"
+            )
+        if self.max_location_retries < 1:
+            raise ClusterConfigError(
+                f"max_location_retries must be >= 1, got "
+                f"{self.max_location_retries}"
+            )
 
 
 DEFAULT_CLUSTER_CONFIG = ClusterConfig()

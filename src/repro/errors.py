@@ -84,6 +84,46 @@ class ReplicationError(HBaseError):
     place under anti-affinity."""
 
 
+class ClusterConfigError(HBaseError):
+    """Invalid cluster configuration: a ``ClusterConfig`` field that
+    would only blow up deep inside first use (negative replica count,
+    non-positive split threshold, zero retry budget), or a topology
+    request that contradicts the current membership (adding a region
+    server under a name that already exists)."""
+
+
+class OrchestrationError(HBaseError):
+    """Errors from the declarative orchestration layer (plan, diff,
+    staged rollout)."""
+
+
+class PlanValidationError(OrchestrationError):
+    """A ``ClusterPlan`` is internally inconsistent (bad server count,
+    unsorted split points, more replicas than servers) or impossible
+    against the current cluster (unknown table, enabling replication on
+    a non-empty unreplicated table)."""
+
+
+class StaleStepError(OrchestrationError):
+    """Layout-epoch fencing: a ``Step`` was fenced against one cluster
+    layout but the layout moved (or the step's preconditions dissolved —
+    a region boundary vanished, a target server left) before it could
+    apply. Stale steps refuse to apply; the orchestrator re-fences and
+    retries or rolls the stage back."""
+
+
+class StepVerificationError(OrchestrationError):
+    """A step's in-segment verification failed (e.g. row counts were not
+    conserved across a move/split/merge) or a stage-level invariant
+    check found a structural violation. Triggers stage rollback."""
+
+
+class RollbackError(OrchestrationError):
+    """A stage rollback could not restore the last committed state even
+    after exhausting the retry budget. The cluster is left in a
+    partially unwound state; this is a hard failure."""
+
+
 class TransactionError(ReproError):
     """Errors from either transaction layer (MVCC or Synergy)."""
 

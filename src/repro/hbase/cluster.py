@@ -20,6 +20,7 @@ import bisect
 
 from repro.config import ClusterConfig, DEFAULT_CLUSTER_CONFIG
 from repro.errors import (
+    ClusterConfigError,
     HBaseError,
     RegionSplitError,
     RegionUnavailableError,
@@ -91,6 +92,12 @@ class HBaseCluster:
         self._ts = 0
         self._assign_cursor = 0
         self._region_host: dict[str, RegionServer] = {}
+        self.layout_epoch = 0
+        """Cluster-wide layout generation: moves on every topology
+        mutation (table DDL, server add/drain, region move/split/merge,
+        recovery, replica-count change). Orchestration steps fence on
+        it — a step fenced against one epoch refuses to apply after the
+        layout moved underneath it."""
         for server in self.servers:
             server.on_region_grown = self._auto_split
         self.replication = (
@@ -118,6 +125,9 @@ class HBaseCluster:
     @property
     def current_timestamp(self) -> int:
         return self._ts
+
+    def _bump_layout(self) -> None:
+        self.layout_epoch += 1
 
     # -- DDL -------------------------------------------------------------------------
     def create_table(
@@ -150,6 +160,7 @@ class HBaseCluster:
             self._assign(region)
         desc = TableDescriptor(name, families, max_versions, regions)
         self.tables[name] = desc
+        self._bump_layout()
         return desc
 
     def drop_table(self, name: str) -> None:
@@ -161,6 +172,7 @@ class HBaseCluster:
             server.unhost(region.name)
         desc.regions = []
         desc.invalidate_locations()  # stale client handles must re-resolve
+        self._bump_layout()
 
     def descriptor(self, name: str) -> TableDescriptor:
         try:
@@ -179,7 +191,10 @@ class HBaseCluster:
                 raise HBaseError(
                     f"no live region server to open {region.name} on"
                 )
-            server = live[self._assign_cursor % len(live)]
+            # draining servers are leaving the rotation; fall back to
+            # them only when nothing else is up (availability first)
+            candidates = [s for s in live if not s.draining] or live
+            server = candidates[self._assign_cursor % len(candidates)]
             self._assign_cursor += 1
         server.host(region)
         self._region_host[region.name] = server
@@ -195,17 +210,152 @@ class HBaseCluster:
                 f"region {region.name} is no longer hosted"
             ) from None
 
-    def add_servers(self, n: int = 1) -> list[RegionServer]:
-        """Scale out: bring ``n`` fresh (empty) region servers online.
-        Existing regions stay put until a :class:`RegionBalancer` run
-        moves some of them over."""
+    def add_servers(
+        self, n: int = 1, names: list[str] | None = None
+    ) -> list[RegionServer]:
+        """Scale out: bring ``n`` fresh (empty) region servers online
+        (or one per explicit name in ``names``). Existing regions stay
+        put until a :class:`RegionBalancer` run moves some of them over.
+        A requested name that collides with an existing server — or
+        repeats within ``names`` — raises
+        :class:`~repro.errors.ClusterConfigError`: silently reusing a
+        member name would fork the identity every ``_region_host`` and
+        recovery decision keys on."""
+        existing = {s.name for s in self.servers}
+        if names is not None:
+            n = len(names)
+            seen: set[str] = set()
+            for name in names:
+                if name in existing:
+                    raise ClusterConfigError(
+                        f"region server {name!r} already exists"
+                    )
+                if name in seen:
+                    raise ClusterConfigError(
+                        f"duplicate region server name {name!r} in add_servers"
+                    )
+                seen.add(name)
         fresh = []
-        for _ in range(n):
-            server = RegionServer(f"rs{len(self.servers) + 1}", self.sim)
+        for i in range(n):
+            if names is not None:
+                name = names[i]
+            else:
+                # skip over explicitly-named members ("rs7" may exist
+                # on a 5-server cluster) instead of colliding with them
+                j = len(self.servers) + 1
+                while f"rs{j}" in existing:
+                    j += 1
+                name = f"rs{j}"
+            existing.add(name)
+            server = RegionServer(name, self.sim)
             server.on_region_grown = self._auto_split
             self.servers.append(server)
             fresh.append(server)
+        if fresh:
+            self._bump_layout()
         return fresh
+
+    def remove_server(self, server: RegionServer | str) -> None:
+        """Take a server out of the membership entirely — the true
+        inverse of :meth:`add_servers`, used by orchestration rollback.
+        Only an empty server may leave (drain it first): removing one
+        that still hosts primaries or followers would strand state."""
+        if isinstance(server, str):
+            server = self.server_named(server)
+        if server.regions or server.follower_regions:
+            raise ClusterConfigError(
+                f"server {server.name} still hosts state; drain it "
+                "before removing it"
+            )
+        self.servers.remove(server)
+        self._bump_layout()
+
+    def server_named(self, name: str) -> RegionServer:
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise ClusterConfigError(f"no region server named {name!r}")
+
+    def drain_server(
+        self, server: RegionServer | str
+    ) -> list[tuple[str, bytes, str]]:
+        """Decommission primitive: mark ``server`` draining (placement,
+        balancing and follower top-up all skip it from here on), move
+        every primary it hosts to the least-loaded eligible server, and
+        rebuild its follower replicas elsewhere. Returns the primary
+        moves performed as ``(table, start_key, target_name)`` — the
+        exact list an orchestration rollback replays in reverse.
+
+        Draining a dead server raises
+        :class:`~repro.errors.RegionUnavailableError` (moving needs a
+        flush the host cannot serve); the orchestration ``DrainServer``
+        step degrades that to recovery-then-drain. If some region has
+        no eligible target (capacity or anti-affinity), every move
+        already performed is reverted and the error propagates — the
+        drain is all-or-nothing."""
+        if isinstance(server, str):
+            server = self.server_named(server)
+        if not server.alive:
+            raise RegionUnavailableError(
+                f"cannot drain {server.name}: server is down "
+                "(recover it first)"
+            )
+        was_draining = server.draining
+        server.draining = True
+        self._bump_layout()
+        moves: list[tuple[str, bytes, str]] = []
+        performed: list[Region] = []
+        try:
+            regions = sorted(
+                server.regions.values(),
+                key=lambda r: (r.table_name, r.start_key),
+            )
+            for region in regions:
+                target = self._drain_target(server, region)
+                if target is None:
+                    raise HBaseError(
+                        f"no eligible server to drain {region.name} "
+                        f"off {server.name}"
+                    )
+                self.move_region(region, target)
+                performed.append(region)
+                moves.append((region.table_name, region.start_key, target.name))
+        except Exception:
+            server.draining = was_draining
+            for region in reversed(performed):
+                self.move_region(region, server)
+            self._bump_layout()
+            raise
+        if self.replication is not None:
+            self.replication.evacuate_followers(server)
+        return moves
+
+    def _drain_target(
+        self, source: RegionServer, region: Region
+    ) -> RegionServer | None:
+        """Least-loaded eligible destination for one drained region
+        (ties break on the server name — fully deterministic)."""
+        candidates = [
+            s
+            for s in self.servers
+            if s.alive and not s.draining and s is not source
+        ]
+        if self.replication is not None:
+            candidates = [
+                s for s in candidates if self.replication.allows_move(region, s)
+            ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: (len(s.regions), s.name))
+
+    def undrain_server(self, server: RegionServer | str) -> None:
+        """Put a drained server back into placement rotation. Regions
+        do not move back on their own — a balancer run (or orchestration
+        rollback replaying the recorded drain moves) does that."""
+        if isinstance(server, str):
+            server = self.server_named(server)
+        server.draining = False
+        self._bump_layout()
 
     def move_region(self, region: Region, target: RegionServer) -> bool:
         """Reassign one region to ``target``. The source flushes the
@@ -233,6 +383,7 @@ class HBaseCluster:
         if self.replication is not None:
             # the ship-log tap must follow the primary onto its new WAL
             self.replication.on_region_moved(region, source, target)
+        self._bump_layout()
         return True
 
     # -- region splitting -------------------------------------------------------------
@@ -270,7 +421,73 @@ class HBaseCluster:
         )
         desc.regions[i : i + 1] = [low, high]
         desc.invalidate_locations()  # stale clients must re-resolve
+        self._bump_layout()
         return low, high
+
+    def merge_regions(self, low: Region, high: Region) -> Region:
+        """Merge two adjacent regions of a table back into one — the
+        inverse of :meth:`split_region`, used by orchestration rollback.
+
+        Both daughters flush first (like a move, the merged region must
+        carry no unflushed state), then a fresh merged region adopts
+        both HFile sets and opens on ``low``'s server. Raises
+        :class:`~repro.errors.RegionSplitError` for non-adjacent or
+        cross-table pairs, :class:`~repro.errors.ReplicationError` for
+        replicated regions (their group ship-log is keyed per region)."""
+        if low.table_name != high.table_name:
+            raise RegionSplitError(
+                f"cannot merge across tables: {low.name} / {high.name}"
+            )
+        if low.end_key != high.start_key:
+            raise RegionSplitError(
+                f"regions {low.name} and {high.name} are not adjacent"
+            )
+        if self.replication is not None and (
+            low.name in self.replication.groups
+            or high.name in self.replication.groups
+        ):
+            raise ReplicationError(
+                f"regions {low.name}/{high.name} are replicated "
+                "and cannot be merged"
+            )
+        server_low = self.server_for(low)
+        server_high = self.server_for(high)
+        server_low.flush_region(low)
+        server_high.flush_region(high)
+        merged = Region(
+            table_name=low.table_name,
+            start_key=low.start_key,
+            end_key=high.end_key,
+            max_versions=low.max_versions,
+            kv_overhead_bytes=low.kv_overhead_bytes,
+            flush_threshold_rows=low.flush_threshold_rows,
+            split_threshold_bytes=low.split_threshold_bytes,
+            # both daughters flushed, but a later crash-replay must
+            # still route any ancestor-logged edits by key range
+            wal_ancestry=tuple(
+                dict.fromkeys(
+                    low.wal_ancestry
+                    + (low.name,)
+                    + high.wal_ancestry
+                    + (high.name,)
+                )
+            ),
+        )
+        merged.hfiles = list(low.hfiles) + list(high.hfiles)
+        merged._approx_size_bytes = merged._component_size_bytes()
+        for daughter, host in ((low, server_low), (high, server_high)):
+            host.unhost(daughter.name)
+            del self._region_host[daughter.name]
+            daughter.online = False
+        server_low.host(merged)
+        self._region_host[merged.name] = server_low
+        desc = self.tables[low.table_name]
+        i = next(idx for idx, r in enumerate(desc.regions) if r is low)
+        assert desc.regions[i + 1] is high
+        desc.regions[i : i + 2] = [merged]
+        desc.invalidate_locations()  # stale clients must re-resolve
+        self._bump_layout()
+        return merged
 
     def _auto_split(self, region: Region) -> None:
         """Size-trigger hook: split a grown region, recursively, until
@@ -388,6 +605,7 @@ class HBaseCluster:
             # groups that lost followers (or whose promotion consumed
             # one) head back to full strength on the surviving servers
             self.replication.repair()
+        self._bump_layout()
         return recovered
 
     def recovery_replay_estimate(self, dead: RegionServer) -> int:
@@ -412,6 +630,26 @@ class HBaseCluster:
             total += est
         return total
 
+    # -- replication control --------------------------------------------------------
+    def set_replica_count(self, table: str, count: int) -> int:
+        """Online replica-count change for one table (see
+        :meth:`ReplicationManager.set_replica_count`). Creates the
+        replication manager on demand when the cluster was configured
+        unreplicated — with a default target of 1, so every *other*
+        table keeps its exact unreplicated behavior."""
+        self.descriptor(table)  # typed failure for unknown tables
+        if count < 1:
+            raise ReplicationError(f"replica count must be >= 1, got {count}")
+        if self.replication is None:
+            if count == 1:
+                return 0
+            self.replication = ReplicationManager(
+                self, default_replica_count=1
+            )
+        delta = self.replication.set_replica_count(table, count)
+        self._bump_layout()
+        return delta
+
     # -- stats ------------------------------------------------------------------------
     def table_size_bytes(self, name: str) -> int:
         desc = self.descriptor(name)
@@ -428,6 +666,47 @@ class HBaseCluster:
 
     def table_row_count(self, name: str) -> int:
         return sum(r.row_count() for r in self.descriptor(name).regions)
+
+    def layout_fingerprint(self) -> dict:
+        """Structural snapshot of the whole layout: per-table region
+        boundaries, hosting and row counts; per-server liveness/drain
+        state; follower placement per replicated key range. Pure
+        inspection (no charges, no RNG draws) — orchestration compares
+        fingerprints to decide whether a rollback restored the last
+        committed stage, and tests assert equality across reruns."""
+        tables: dict[str, list] = {}
+        for name in sorted(self.tables):
+            tables[name] = [
+                {
+                    "start": r.start_key.hex(),
+                    "end": None if r.end_key is None else r.end_key.hex(),
+                    "host": (
+                        self._region_host[r.name].name
+                        if r.name in self._region_host
+                        else None
+                    ),
+                    "rows": r.row_count(),
+                }
+                for r in self.tables[name].regions
+            ]
+        servers = {
+            s.name: {
+                "alive": s.alive,
+                "draining": s.draining,
+                "primaries": len(s.regions),
+                "followers": len(s.follower_regions),
+            }
+            for s in self.servers
+        }
+        replicas: dict[str, list[str]] = {}
+        if self.replication is not None:
+            for group in self.replication.groups.values():
+                key = (
+                    f"{group.primary.table_name},"
+                    f"{group.primary.start_key.hex()}"
+                )
+                replicas[key] = sorted(f.server.name for f in group.followers)
+        return {"tables": tables, "servers": servers, "replicas": replicas}
 
 
 class RegionBalancer:
@@ -455,10 +734,15 @@ class RegionBalancer:
         self.cluster = cluster
         self.policy = policy
         self._rng = derive_rng(cluster.config.seed, "region-balancer")
+        self.last_moves: list[tuple[str, bytes, str, str]] = []
+        """Moves the latest :meth:`rebalance` performed, as
+        ``(table, start_key, source, target)`` — what an orchestration
+        rollback replays in reverse."""
 
     # -- shared helpers ----------------------------------------------------------------
     def _live_servers(self) -> list[RegionServer]:
-        return [s for s in self.cluster.servers if s.alive]
+        # draining servers are on their way out: never a balance target
+        return [s for s in self.cluster.servers if s.alive and not s.draining]
 
     def _hosted_regions(self) -> list[Region]:
         """Every hosted region, in a stable deterministic order."""
@@ -492,10 +776,16 @@ class RegionBalancer:
             ]
         moved_tables = set()
         moved = 0
+        self.last_moves = []
         for region, target in moves:
+            source = self.cluster.server_for(region)
             if self.cluster.move_region(region, target):
                 moved += 1
                 moved_tables.add(region.table_name)
+                self.last_moves.append(
+                    (region.table_name, region.start_key,
+                     source.name, target.name)
+                )
         for table in sorted(moved_tables):
             self.cluster.tables[table].invalidate_locations()
         return moved

@@ -28,6 +28,11 @@ class RegionServer:
         self.recovered = False
         """True once master failover has moved this (dead) server's
         regions elsewhere; cleared when the server process restarts."""
+        self.draining = False
+        """Decommission flag (``HBaseCluster.drain_server``): placement
+        (assignment, balancing, follower top-up) skips draining servers.
+        Deliberately survives a restart — a drained server that crashes
+        and rejoins stays out of rotation until undrained."""
         self.on_region_grown = None
         """Master hook (set by the cluster): called with a region whose
         approximate size crossed its split threshold after a write."""

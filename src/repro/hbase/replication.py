@@ -101,14 +101,32 @@ class ReplicationManager:
     None``, so the unreplicated simulation never pays for it.
     """
 
-    def __init__(self, cluster: "HBaseCluster") -> None:
+    def __init__(
+        self,
+        cluster: "HBaseCluster",
+        default_replica_count: int | None = None,
+    ) -> None:
         self.cluster = cluster
         self.config = cluster.config.replication
-        if self.config.replica_count < 2:  # pragma: no cover - guarded by cluster
+        if default_replica_count is None:
+            default_replica_count = self.config.replica_count
+            if default_replica_count < 2:  # pragma: no cover - guarded by cluster
+                raise ReplicationError(
+                    f"replica_count={default_replica_count}: a manager "
+                    "needs at least a primary and one follower"
+                )
+        elif default_replica_count < 1:
             raise ReplicationError(
-                f"replica_count={self.config.replica_count}: a manager "
-                "needs at least a primary and one follower"
+                f"default_replica_count must be >= 1, got "
+                f"{default_replica_count}"
             )
+        self.default_replica_count = default_replica_count
+        """Replica target for tables without a per-table override. May
+        be 1 when orchestration created this manager on an unreplicated
+        cluster purely to raise individual tables' counts."""
+        self.targets: dict[str, int] = {}
+        """Per-table replica-count overrides (orchestration's online
+        ``set_replica_count``); tables absent here use the default."""
         self.groups: dict[str, ReplicationGroup] = {}
         """Primary region name -> group (re-keyed on promotion/recovery)."""
         self._rng = derive_rng(cluster.config.seed, "replication")
@@ -116,12 +134,31 @@ class ReplicationManager:
         self.followers_rebuilt = 0
         self.entries_shipped = 0
 
+    def target_for(self, table_name: str) -> int:
+        """Total copies (primary included) this table should keep."""
+        return self.targets.get(table_name, self.default_replica_count)
+
+    def groups_for(self, table_name: str) -> list[ReplicationGroup]:
+        """This table's groups, in insertion order (deterministic)."""
+        return [
+            g
+            for g in self.groups.values()
+            if g.primary.table_name == table_name
+        ]
+
     # -- group creation ----------------------------------------------------------
-    def replicate_table(self, table_name: str) -> int:
-        """Create one group per region of ``table_name``; returns the
-        number of followers placed. Must run before any write lands:
-        the ship log is the region's *complete* history, which is only
-        true when it starts empty."""
+    def replicate_table(self, table_name: str, count: int | None = None) -> int:
+        """Create one group per region of ``table_name`` (targeting
+        ``count`` total copies, default the manager default); returns
+        the number of followers placed. Must run before any write
+        lands: the ship log is the region's *complete* history, which
+        is only true when it starts empty."""
+        if count is not None:
+            if count < 1:
+                raise ReplicationError(
+                    f"replica count must be >= 1, got {count}"
+                )
+            self.targets[table_name] = count
         desc = self.cluster.descriptor(table_name)
         placed = 0
         for region in desc.regions:
@@ -150,7 +187,7 @@ class ReplicationManager:
         taken = {f.server.name for f in group.followers}
         out = []
         for server in self.cluster.servers:
-            if not server.alive or server.name in taken:
+            if not server.alive or server.draining or server.name in taken:
                 continue
             if self.config.anti_affinity and server is primary_host:
                 continue
@@ -158,35 +195,87 @@ class ReplicationManager:
         out.sort(key=lambda s: len(s.follower_regions))  # stable sort
         return out
 
+    def _place_follower(self, group: ReplicationGroup, server) -> None:
+        """Build one caught-up follower of ``group`` on ``server`` by
+        replaying the full ship log into a fresh region."""
+        primary = group.primary
+        region = Region(
+            table_name=primary.table_name,
+            start_key=primary.start_key,
+            end_key=primary.end_key,
+            max_versions=primary.max_versions,
+            kv_overhead_bytes=primary.kv_overhead_bytes,
+            flush_threshold_rows=primary.flush_threshold_rows,
+            # followers never split: the primary drives the layout
+            split_threshold_bytes=None,
+        )
+        for entry in group.log:
+            _apply_entry(region, entry)
+        server.follower_regions[region.name] = region
+        group.followers.append(
+            FollowerReplica(region, server, len(group.log))
+        )
+
     def _top_up(self, group: ReplicationGroup) -> int:
-        """Place followers until the group holds ``replica_count - 1``
-        (or the cluster runs out of eligible servers — the group then
-        runs short until :meth:`repair` finds capacity)."""
+        """Place followers until the group holds its table's target
+        minus one (or the cluster runs out of eligible servers — the
+        group then runs short until :meth:`repair` finds capacity)."""
         added = 0
-        while len(group.followers) < self.config.replica_count - 1:
+        want = self.target_for(group.primary.table_name) - 1
+        while len(group.followers) < want:
             hosts = self._follower_hosts(group)
             if not hosts:
                 break
-            server = hosts[0]
-            primary = group.primary
-            region = Region(
-                table_name=primary.table_name,
-                start_key=primary.start_key,
-                end_key=primary.end_key,
-                max_versions=primary.max_versions,
-                kv_overhead_bytes=primary.kv_overhead_bytes,
-                flush_threshold_rows=primary.flush_threshold_rows,
-                # followers never split: the primary drives the layout
-                split_threshold_bytes=None,
-            )
-            for entry in group.log:
-                _apply_entry(region, entry)
-            server.follower_regions[region.name] = region
-            group.followers.append(
-                FollowerReplica(region, server, len(group.log))
-            )
+            self._place_follower(group, hosts[0])
             added += 1
         return added
+
+    def follower_placements(self, table_name: str) -> dict[bytes, list[str]]:
+        """Current follower hosting per group, keyed by the primary's
+        start key: the durable address that survives crash-time
+        promotion renaming a group's primary."""
+        return {
+            group.primary.start_key: sorted(
+                f.server.name for f in group.followers
+            )
+            for group in self.groups_for(table_name)
+        }
+
+    def reconcile_followers(
+        self,
+        table_name: str,
+        placements: dict[bytes, list[str]],
+        target: int,
+    ) -> None:
+        """Force this table's follower hosting back to an exact recorded
+        layout — the orchestration-rollback inverse of an online
+        replica-count change, which must restore the *same* placements
+        rather than re-derive laggiest-first/least-loaded choices.
+        Recorded hosts that are down or gone are skipped (the group runs
+        short until :meth:`repair` finds capacity)."""
+        self.targets[table_name] = target
+        existing = {s.name for s in self.cluster.servers}
+        for group in self.groups_for(table_name):
+            want = list(placements.get(group.primary.start_key, ()))
+            for follower in list(group.followers):
+                if follower.server.name in want:
+                    want.remove(follower.server.name)
+                    continue
+                follower.server.follower_regions.pop(
+                    follower.region.name, None
+                )
+                follower.region.online = False
+                group.followers.remove(follower)
+            primary_host = self.cluster._region_host.get(group.primary.name)
+            for name in want:
+                if name not in existing:
+                    continue
+                server = self.cluster.server_named(name)
+                if not server.alive or (
+                    self.config.anti_affinity and server is primary_host
+                ):
+                    continue
+                self._place_follower(group, server)
 
     # -- shipping ------------------------------------------------------------------
     def ship_pending(self, batch_entries: int | None = None) -> int:
@@ -363,6 +452,86 @@ class ReplicationManager:
         if group is None:
             return True
         return all(f.server is not target for f in group.followers)
+
+    def set_replica_count(self, table_name: str, count: int) -> int:
+        """Online replica-count change for one table; returns the net
+        follower delta (placed minus dropped).
+
+        Raising the target rebuilds new followers from the group ship
+        logs (fresh region + full-history replay). Lowering it drops
+        the laggiest followers first (ties drop the latest-placed).
+        ``count=1`` keeps the groups — taps installed, complete logs
+        still growing — with zero followers, so a later raise needs no
+        empty-region precondition; note such a table still refuses
+        splits like any replicated table. Enabling replication on a
+        table with *no* groups requires its regions to be empty (the
+        log must be the complete history) and raises
+        :class:`~repro.errors.ReplicationError` otherwise."""
+        if count < 1:
+            raise ReplicationError(f"replica count must be >= 1, got {count}")
+        groups = self.groups_for(table_name)
+        if not groups:
+            if count == 1:
+                self.targets[table_name] = count
+                return 0
+            return self.replicate_table(table_name, count)
+        self.targets[table_name] = count
+        want = count - 1
+        delta = 0
+        for group in groups:
+            while len(group.followers) > want:
+                victim = min(
+                    enumerate(group.followers),
+                    key=lambda kv: (kv[1].applied, -kv[0]),
+                )[1]
+                victim.server.follower_regions.pop(victim.region.name, None)
+                victim.region.online = False
+                group.followers.remove(victim)
+                delta -= 1
+            if len(group.followers) < want:
+                added = self._top_up(group)
+                self.followers_rebuilt += added
+                delta += added
+        return delta
+
+    def dereplicate_table(self, table_name: str) -> int:
+        """Remove this table's groups entirely: drop followers, remove
+        the ship-log taps, forget the logs. The exact inverse of
+        enabling replication on a previously unmanaged table (used by
+        orchestration rollback); returns groups removed. Unlike
+        ``set_replica_count(table, 1)`` this discards the complete
+        history, so re-replicating later needs empty regions again."""
+        removed = 0
+        for group in self.groups_for(table_name):
+            for follower in group.followers:
+                follower.server.follower_regions.pop(
+                    follower.region.name, None
+                )
+                follower.region.online = False
+            host = self.cluster._region_host.get(group.primary.name)
+            if host is not None:
+                host.wal.remove_tap(group.primary.name)
+            del self.groups[group.primary.name]
+            removed += 1
+        self.targets.pop(table_name, None)
+        return removed
+
+    def evacuate_followers(self, server: "RegionServer") -> int:
+        """Drain hook: drop every follower hosted on ``server`` and
+        rebuild replacements elsewhere (fresh region + full log replay);
+        returns followers rebuilt. The caller marks the server draining
+        first, so replacements never land back on it."""
+        rebuilt = 0
+        for group in self.groups.values():
+            for follower in list(group.followers):
+                if follower.server is not server:
+                    continue
+                server.follower_regions.pop(follower.region.name, None)
+                follower.region.online = False
+                group.followers.remove(follower)
+                rebuilt += self._top_up(group)
+        self.followers_rebuilt += rebuilt
+        return rebuilt
 
     def repair(self) -> int:
         """Drop dead followers and rebuild replacements on live servers

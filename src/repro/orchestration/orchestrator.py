@@ -1,0 +1,423 @@
+"""The staged rollout engine: apply -> verify -> commit-or-rollback.
+
+The :class:`Orchestrator` takes a plan (or an explicit step/stage
+list), groups consecutive same-kind steps into **stages**, and drives
+each stage through:
+
+1. **apply** — every step is fenced (re-resolved against the current
+   layout + epoch-stamped) and applied back-to-back in one scheduler
+   segment, so fence and apply are atomic with respect to interleaved
+   chaos; ``RegionUnavailableError`` (dead server, region awaiting
+   recovery) retries with linear backoff inside a bounded budget,
+   re-fencing each attempt so a step can chase its region across a
+   crash/recovery cycle;
+2. **verify** — cluster-wide invariants (region tiling, hosting,
+   replica watermarks/anti-affinity) are checked; *transient*
+   violations (a region on a crashed-but-not-yet-recovered server, a
+   group short of followers) wait-and-retry, *fatal* ones (layout
+   holes, watermark past the log) fail the stage;
+3. **commit or rollback** — a committed stage records the layout
+   epoch and is never revisited; a failed stage unwinds every inverse
+   recorded during apply, in reverse, with the same retry budget, so
+   an interrupted rollout lands exactly on the last committed stage.
+
+Run it synchronously (:meth:`Orchestrator.run`) for tests, or install
+it on a :class:`~repro.sim.scheduler.DeterministicScheduler` as a
+non-daemon participant so rollouts interleave deterministically with
+the chaos engine's ``FaultInjector`` and the client workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import (
+    HBaseError,
+    RegionUnavailableError,
+    RollbackError,
+    StepVerificationError,
+)
+from repro.orchestration.plan import ClusterPlan, diff
+from repro.orchestration.steps import Step
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hbase.cluster import HBaseCluster
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Budgets and pacing for one rollout."""
+
+    max_attempts_per_step: int = 8
+    """Fence+apply attempts per step (and per inverse during rollback)
+    before the stage fails on ``RegionUnavailableError``."""
+
+    retry_backoff_ms: float = 12.0
+    """Linear backoff: attempt ``n`` waits ``n * retry_backoff_ms``."""
+
+    verify_attempts: int = 8
+    """Stage-verify rounds to wait out *transient* violations (regions
+    awaiting recovery, groups short of followers) before failing."""
+
+    verify_backoff_ms: float = 12.0
+    """Wait between verify rounds (linear, like the step backoff)."""
+
+    step_cost_ms: float = 2.0
+    """Admin round-trip charged on the orchestrator's own timeline per
+    applied step — rollouts take virtual time, so they interleave with
+    the workload instead of landing atomically."""
+
+    start_delay_ms: float = 0.0
+    """Virtual delay before the first stage (lets a scheduled workload
+    warm up before the rollout starts)."""
+
+
+class StageReport:
+    """Outcome of one stage."""
+
+    def __init__(self, index: int, name: str, steps: list[str]) -> None:
+        self.index = index
+        self.name = name
+        self.steps = steps
+        self.status = "pending"  # -> committed | rolled-back
+        self.attempts = 0
+        self.started_ms = 0.0
+        self.finished_ms = 0.0
+        self.epoch: int | None = None  # layout epoch at commit
+        self.error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "steps": self.steps,
+            "status": self.status,
+            "attempts": self.attempts,
+            "started_ms": round(self.started_ms, 6),
+            "finished_ms": round(self.finished_ms, 6),
+            "epoch": self.epoch,
+            "error": self.error,
+        }
+
+
+class RolloutReport:
+    """Outcome of one whole rollout."""
+
+    def __init__(self) -> None:
+        self.stages: list[StageReport] = []
+        self.status = "pending"  # -> committed | rolled-back
+        self.committed_stages = 0
+        self.started_ms = 0.0
+        self.finished_ms = 0.0
+        self.epoch_start = 0
+        self.epoch_end = 0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "committed_stages": self.committed_stages,
+            "total_stages": len(self.stages),
+            "started_ms": round(self.started_ms, 6),
+            "finished_ms": round(self.finished_ms, 6),
+            "duration_ms": round(self.duration_ms, 6),
+            "epoch_start": self.epoch_start,
+            "epoch_end": self.epoch_end,
+            "stages": [s.as_dict() for s in self.stages],
+        }
+
+
+def verify_cluster(
+    cluster: "HBaseCluster", tables: list[str] | None = None
+) -> tuple[list[str], list[str]]:
+    """Cluster-wide invariants, split into ``(transient, fatal)``.
+
+    Transient violations resolve on their own once recovery/repair
+    runs (region hosted on a dead-but-unrecovered server, replication
+    group short of followers); fatal ones are structural corruption
+    (tiling holes, unhosted/offline regions on live servers, follower
+    watermark past the ship log, anti-affinity breach). Pure
+    inspection: no charges, no RNG draws — safe to call concurrently
+    with a scheduled workload."""
+    transient: list[str] = []
+    fatal: list[str] = []
+    names = sorted(cluster.tables) if tables is None else sorted(tables)
+    for name in names:
+        desc = cluster.tables[name]
+        if not desc.regions:
+            fatal.append(f"table {name!r} has no regions")
+            continue
+        prev_end: bytes | None = b""
+        for region in desc.regions:
+            if region.start_key != prev_end:
+                fatal.append(
+                    f"layout hole/overlap in {name!r} at "
+                    f"{region.start_key!r} (expected {prev_end!r})"
+                )
+            prev_end = region.end_key
+            host = cluster._region_host.get(region.name)
+            if host is None:
+                fatal.append(f"region {region.name} is unhosted")
+            elif not host.alive:
+                if host.recovered:
+                    fatal.append(
+                        f"region {region.name} still mapped to recovered "
+                        f"dead server {host.name}"
+                    )
+                else:
+                    transient.append(
+                        f"region {region.name} on dead server {host.name} "
+                        "(awaiting recovery)"
+                    )
+            elif not region.online:
+                fatal.append(
+                    f"region {region.name} offline on live server "
+                    f"{host.name}"
+                )
+        if prev_end is not None:
+            fatal.append(f"table {name!r} does not cover the key space end")
+    manager = cluster.replication
+    if manager is not None:
+        for group in manager.groups.values():
+            table = group.primary.table_name
+            if tables is not None and table not in set(tables):
+                continue
+            want = manager.target_for(table) - 1
+            log_len = len(group.log)
+            if len(group.followers) > max(want, 0):
+                fatal.append(
+                    f"group {group.primary.name} over-replicated: "
+                    f"{len(group.followers)} followers for target "
+                    f"{want + 1}"
+                )
+            primary_host = cluster._region_host.get(group.primary.name)
+            for follower in group.followers:
+                if follower.applied > log_len:
+                    fatal.append(
+                        f"follower watermark past the ship log on "
+                        f"{group.primary.name} "
+                        f"({follower.applied} > {log_len})"
+                    )
+                if (
+                    manager.config.anti_affinity
+                    and follower.is_live()
+                    and follower.server is primary_host
+                ):
+                    fatal.append(
+                        f"anti-affinity breach: {group.primary.name} "
+                        f"co-hosted with its follower on "
+                        f"{follower.server.name}"
+                    )
+            if len(group.live_followers()) < want:
+                transient.append(
+                    f"group {group.primary.name} short: "
+                    f"{len(group.live_followers())}/{want} live followers"
+                )
+    return transient, fatal
+
+
+def cluster_snapshot(
+    cluster: "HBaseCluster", tables: list[str] | None = None
+) -> dict:
+    """Row-for-row content snapshot: table -> row -> sorted cell list
+    ``(family, qualifier, timestamp, value)``. Pure inspection (reads
+    region stores directly — no client charges, no virtual time), so a
+    rollback test can compare before/after byte-for-byte. Regions must
+    be online (don't snapshot mid-outage)."""
+    out: dict[str, dict[bytes, tuple]] = {}
+    names = sorted(cluster.tables) if tables is None else sorted(tables)
+    for name in names:
+        rows: dict[bytes, tuple] = {}
+        for region in cluster.tables[name].regions:
+            for row, result in region.scan(max_versions=2**31 - 1):
+                if result is None or result.is_empty:
+                    continue
+                cells = []
+                for (family, qualifier), versions in sorted(
+                    result._cells.items()
+                ):
+                    for ts, value in versions:
+                        cells.append((family, qualifier, ts, value))
+                rows[row] = tuple(cells)
+        out[name] = rows
+    return out
+
+
+def _group_stages(steps: list[Step]) -> list[tuple[str, list[Step]]]:
+    """Consecutive same-kind steps form one stage."""
+    grouped: list[tuple[str, list[Step]]] = []
+    for step in steps:
+        if grouped and grouped[-1][0] == step.kind:
+            grouped[-1][1].append(step)
+        else:
+            grouped.append((step.kind, [step]))
+    return [
+        (f"{i + 1}:{kind}", group) for i, (kind, group) in enumerate(grouped)
+    ]
+
+
+class Orchestrator:
+    """Executes a plan (or explicit steps/stages) against one cluster.
+
+    Exactly one of ``plan``, ``steps`` or ``stages`` must be given.
+    ``stages`` takes pre-grouped ``(name, [steps])`` pairs — the hook
+    tests and the CI fault drill use to compose a stage that mixes
+    real steps with a :class:`~repro.orchestration.steps.PoisonStep`.
+    """
+
+    def __init__(
+        self,
+        cluster: "HBaseCluster",
+        plan: ClusterPlan | None = None,
+        steps: list[Step] | None = None,
+        stages: list[tuple[str, list[Step]]] | None = None,
+        policy: RolloutPolicy | None = None,
+        verify_tables: list[str] | None = None,
+    ) -> None:
+        given = sum(x is not None for x in (plan, steps, stages))
+        if given != 1:
+            raise ValueError(
+                "exactly one of plan=, steps= or stages= is required"
+            )
+        if plan is not None:
+            steps = diff(plan, cluster)
+        self.cluster = cluster
+        self.policy = policy or RolloutPolicy()
+        self.verify_tables = verify_tables
+        self._stages = stages if stages is not None else _group_stages(steps)
+        self.report = RolloutReport()
+
+    @property
+    def stages(self) -> list[tuple[str, list[Step]]]:
+        return self._stages
+
+    # -- drivers ---------------------------------------------------------------
+    def run(self) -> RolloutReport:
+        """Synchronous rollout on the simulation clock (no scheduler):
+        the generator's yield points become plain no-ops."""
+        for _ in self._run(self.cluster.sim.clock):
+            pass
+        return self.report
+
+    def install(self, scheduler):
+        """Join a scheduled run as a *non-daemon* participant: the run
+        does not end until the rollout concluded (committed or rolled
+        back), and every yield is an interleaving point where chaos
+        events and client ops may land."""
+        return scheduler.add_client("orchestrator", self.program)
+
+    def program(self, vc):
+        yield from self._run(vc.clock)
+
+    # -- engine ----------------------------------------------------------------
+    def _run(self, clock):
+        cluster = self.cluster
+        policy = self.policy
+        report = self.report
+        if policy.start_delay_ms > 0:
+            clock.advance(policy.start_delay_ms)
+            yield "orchestrator:start"
+        report.started_ms = clock.now_ms
+        report.epoch_start = cluster.layout_epoch
+        rolled_back = False
+        for index, (name, steps) in enumerate(self._stages):
+            stage = StageReport(index, name, [s.describe() for s in steps])
+            report.stages.append(stage)
+            stage.started_ms = clock.now_ms
+            inverses: list[Step] = []
+            failure: Exception | None = None
+            for step in steps:
+                attempts = 0
+                while True:
+                    attempts += 1
+                    stage.attempts += 1
+                    try:
+                        # fence + apply + local verify: one segment,
+                        # atomic wrt interleaved chaos/clients
+                        step.fence(cluster)
+                        step.apply(cluster)
+                    except RegionUnavailableError as e:
+                        if attempts >= policy.max_attempts_per_step:
+                            failure = e
+                            break
+                        clock.advance(policy.retry_backoff_ms * attempts)
+                        yield f"orchestrator:retry:{step.kind}"
+                        continue
+                    except HBaseError as e:
+                        # StaleStepError, verification failures,
+                        # replication/config misuse: not retryable
+                        failure = e
+                        break
+                    inverse = step.inverse(cluster)
+                    if inverse is not None:
+                        inverses.append(inverse)
+                    clock.advance(policy.step_cost_ms)
+                    yield f"orchestrator:applied:{step.kind}"
+                    break
+                if failure is not None:
+                    break
+            if failure is None:
+                rounds = 0
+                while True:
+                    rounds += 1
+                    transient, fatal = verify_cluster(
+                        cluster, self.verify_tables
+                    )
+                    if fatal:
+                        failure = StepVerificationError("; ".join(fatal))
+                        break
+                    if not transient:
+                        break
+                    if rounds >= policy.verify_attempts:
+                        failure = StepVerificationError(
+                            "transient violations never cleared: "
+                            + "; ".join(transient)
+                        )
+                        break
+                    clock.advance(policy.verify_backoff_ms * rounds)
+                    yield "orchestrator:verify-wait"
+            if failure is None:
+                stage.status = "committed"
+                stage.epoch = cluster.layout_epoch
+                stage.finished_ms = clock.now_ms
+                report.committed_stages += 1
+            else:
+                stage.error = f"{type(failure).__name__}: {failure}"
+                yield from self._rollback(inverses, clock)
+                stage.status = "rolled-back"
+                stage.finished_ms = clock.now_ms
+                rolled_back = True
+                break
+        report.status = "rolled-back" if rolled_back else "committed"
+        report.finished_ms = clock.now_ms
+        report.epoch_end = cluster.layout_epoch
+
+    def _rollback(self, inverses: list[Step], clock):
+        cluster = self.cluster
+        policy = self.policy
+        for inverse in reversed(inverses):
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    inverse.fence(cluster)
+                    inverse.apply(cluster)
+                except RegionUnavailableError as e:
+                    if attempts >= policy.max_attempts_per_step:
+                        raise RollbackError(
+                            f"could not unwind {inverse.describe()}: {e}"
+                        ) from e
+                    clock.advance(policy.retry_backoff_ms * attempts)
+                    yield f"orchestrator:rollback-retry:{inverse.kind}"
+                    continue
+                except HBaseError as e:
+                    raise RollbackError(
+                        f"could not unwind {inverse.describe()}: {e}"
+                    ) from e
+                clock.advance(policy.step_cost_ms)
+                yield f"orchestrator:rolled-back:{inverse.kind}"
+                break

@@ -50,7 +50,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.config import ClusterConfig, ReplicationConfig
-from repro.errors import RegionRetriesExhaustedError, RegionUnavailableError
+from repro.errors import (
+    RegionRetriesExhaustedError,
+    RegionUnavailableError,
+    ServerRecoveryError,
+)
 from repro.hbase.client import HBaseClient, HTable
 from repro.hbase.cluster import HBaseCluster
 from repro.hbase.ops import Get, Put, Scan
@@ -312,7 +316,15 @@ class FaultInjector:
             history.crash_count += 1
             history.record_event(vc.clock.now_ms, "crash", server.name, hosted)
         elif event.kind == "recover":
-            moved = self.cluster.recover_server(server)
+            try:
+                moved = self.cluster.recover_server(server)
+            except ServerRecoveryError:
+                # an orchestrated drain beat the injector to it
+                # (recovery-then-drain): the regions are already hosted
+                # elsewhere, so the master's work here is done. Nothing
+                # but orchestration recovers mid-run, so pre-existing
+                # chaos trajectories never take this branch.
+                moved = 0
             history.recover_count += 1
             history.regions_recovered += moved
             history.record_event(vc.clock.now_ms, "recover", server.name, moved)

@@ -1,0 +1,424 @@
+"""Declarative orchestration: plans, diffs, fenced steps, rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig, ReplicationConfig
+from repro.errors import (
+    ClusterConfigError,
+    PlanValidationError,
+    RegionUnavailableError,
+    StaleStepError,
+)
+from repro.hbase.client import HBaseClient
+from repro.hbase.cluster import HBaseCluster
+from repro.hbase.ops import Put
+from repro.orchestration import (
+    AddServers,
+    ClusterPlan,
+    DrainServer,
+    MergeRegions,
+    MoveRegion,
+    Orchestrator,
+    PoisonStep,
+    Rebalance,
+    SetReplicas,
+    SplitRegion,
+    TablePlan,
+    cluster_snapshot,
+    diff,
+    verify_cluster,
+)
+from repro.sim.clock import Simulation
+
+FAM = b"cf"
+
+
+def build_cluster(servers=2, replication=None, rows=40, splits=None):
+    sim = Simulation(seed=42)
+    config = ClusterConfig(num_region_servers=servers, seed=42)
+    if replication is not None:
+        config = ClusterConfig(
+            num_region_servers=servers, seed=42, replication=replication,
+        )
+    cluster = HBaseCluster(sim, config)
+    client = HBaseClient(cluster)
+    table = client.create_table("t", families=(FAM,), split_keys=splits)
+    for i in range(rows):
+        table.put(Put(b"%05d" % i).add(FAM, b"q", b"v%05d" % i))
+    return cluster, client
+
+
+# ------------------------------------------------------------ config guards
+class TestConfigValidation:
+    def test_rejects_nonpositive_server_count(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(num_region_servers=0)
+
+    def test_rejects_nonpositive_regions_per_table(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(regions_per_table=0)
+
+    def test_rejects_nonpositive_split_threshold(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(region_split_threshold_bytes=0)
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(region_split_threshold_bytes=-1)
+        # None disables auto-splitting and stays legal
+        ClusterConfig(region_split_threshold_bytes=None)
+
+    def test_rejects_zero_location_retries(self):
+        with pytest.raises(ClusterConfigError):
+            ClusterConfig(max_location_retries=0)
+
+    def test_rejects_bad_replication_config(self):
+        with pytest.raises(ClusterConfigError):
+            ReplicationConfig(replica_count=0)
+        with pytest.raises(ClusterConfigError):
+            ReplicationConfig(ship_batch_entries=0)
+        with pytest.raises(ClusterConfigError):
+            ReplicationConfig(ack_mode="quorum")
+        with pytest.raises(ClusterConfigError):
+            ReplicationConfig(staleness_bound_entries=-1)
+
+
+# ------------------------------------------------------------ membership
+class TestMembership:
+    def test_add_servers_rejects_existing_name(self):
+        cluster, _ = build_cluster()
+        with pytest.raises(ClusterConfigError, match="already exists"):
+            cluster.add_servers(names=["rs1"])
+        # the failed call must not have half-applied
+        assert [s.name for s in cluster.servers] == ["rs1", "rs2"]
+
+    def test_add_servers_rejects_duplicate_in_request(self):
+        cluster, _ = build_cluster()
+        with pytest.raises(ClusterConfigError, match="duplicate"):
+            cluster.add_servers(names=["rs9", "rs9"])
+        assert len(cluster.servers) == 2
+
+    def test_generated_names_skip_explicit_members(self):
+        cluster, _ = build_cluster()
+        cluster.add_servers(names=["rs3"])
+        fresh = cluster.add_servers(1)
+        assert fresh[0].name == "rs4"
+
+    def test_remove_server_refuses_nonempty(self):
+        cluster, _ = build_cluster()
+        hosting = next(s for s in cluster.servers if s.regions)
+        with pytest.raises(ClusterConfigError, match="drain"):
+            cluster.remove_server(hosting)
+
+    def test_drain_then_remove(self):
+        cluster, _ = build_cluster()
+        hosting = next(s for s in cluster.servers if s.regions)
+        moves = cluster.drain_server(hosting)
+        assert moves and not hosting.regions
+        cluster.remove_server(hosting)
+        assert hosting not in cluster.servers
+
+    def test_drain_dead_server_raises(self):
+        cluster, _ = build_cluster()
+        victim = cluster.servers[0]
+        victim.crash()
+        with pytest.raises(RegionUnavailableError):
+            cluster.drain_server(victim)
+
+
+# ------------------------------------------------------------ plan validation
+class TestPlanValidation:
+    def test_table_plan_guards(self):
+        with pytest.raises(PlanValidationError):
+            TablePlan(replicas=0)
+        with pytest.raises(PlanValidationError):
+            TablePlan(split_points=(b"",))
+        with pytest.raises(PlanValidationError):
+            TablePlan(split_points=(b"b", b"a"))
+        with pytest.raises(PlanValidationError):
+            TablePlan(replicas=2, split_points=(b"m",))
+
+    def test_cluster_plan_guards(self):
+        with pytest.raises(PlanValidationError):
+            ClusterPlan(servers=0)
+        with pytest.raises(PlanValidationError):
+            ClusterPlan(servers=2, balance="random")
+        with pytest.raises(PlanValidationError):
+            ClusterPlan(servers=2, drain=("rs1", "rs1"))
+        with pytest.raises(PlanValidationError):
+            # anti-affinity needs one server per copy
+            ClusterPlan(servers=2, tables={"t": TablePlan(replicas=3)})
+
+    def test_diff_rejects_unknown_targets(self):
+        cluster, _ = build_cluster()
+        with pytest.raises(PlanValidationError):
+            diff(ClusterPlan(servers=2, drain=("rs9",)), cluster)
+        with pytest.raises(PlanValidationError):
+            diff(ClusterPlan(servers=2, tables={"nope": TablePlan()}), cluster)
+
+    def test_diff_rejects_enabling_replication_on_nonempty_table(self):
+        cluster, _ = build_cluster(rows=10)
+        plan = ClusterPlan(servers=2, tables={"t": TablePlan(replicas=2)})
+        with pytest.raises(PlanValidationError, match="non-empty"):
+            diff(plan, cluster)
+
+    def test_diff_is_empty_when_plan_matches_cluster(self):
+        cluster, _ = build_cluster()
+        assert diff(ClusterPlan(servers=2), cluster) == []
+
+    def test_diff_orders_steps_canonically(self):
+        cluster, _ = build_cluster(
+            servers=3, rows=40, splits=[b"%05d" % 20]
+        )
+        plan = ClusterPlan(
+            servers=4,
+            tables={"t": TablePlan(split_points=(b"%05d" % 10,))},
+            drain=("rs3",),
+            balance="round-robin",
+        )
+        kinds = [s.kind for s in diff(plan, cluster)]
+        assert kinds == [
+            "add-servers", "add-servers", "drain-server",
+            "split-region", "rebalance",
+        ] or kinds == [
+            "add-servers", "drain-server", "split-region", "rebalance",
+        ]
+        # draining rs3 removes capacity, so the deficit is 2 servers
+        steps = diff(plan, cluster)
+        assert steps[0].kind == "add-servers" and steps[0].count == 2
+
+    def test_diff_scale_in_retires_latest_members(self):
+        cluster, _ = build_cluster(servers=4)
+        steps = diff(ClusterPlan(servers=2, balance=None), cluster)
+        assert [s.kind for s in steps] == ["drain-server", "drain-server"]
+        assert {s.name for s in steps} == {"rs4", "rs3"}
+
+
+# ------------------------------------------------------------ step fencing
+class TestFencing:
+    def test_apply_without_fence_is_stale(self):
+        cluster, _ = build_cluster()
+        step = AddServers(1)
+        with pytest.raises(StaleStepError, match="without a fence"):
+            step.apply(cluster)
+
+    def test_layout_epoch_moves_between_fence_and_apply(self):
+        cluster, _ = build_cluster()
+        step = AddServers(1)
+        step.fence(cluster)
+        cluster.add_servers(1)  # concurrent topology change
+        with pytest.raises(StaleStepError, match="layout epoch"):
+            step.apply(cluster)
+
+    def test_move_region_fence_requires_live_target(self):
+        cluster, _ = build_cluster()
+        region = cluster.tables["t"].regions[0]
+        target = next(
+            s for s in cluster.servers
+            if s is not cluster.server_for(region)
+        )
+        target.crash()
+        step = MoveRegion("t", region.start_key, target.name)
+        with pytest.raises(RegionUnavailableError):
+            step.fence(cluster)
+
+    def test_move_region_fence_rejects_draining_target(self):
+        cluster, _ = build_cluster(servers=3)
+        region = cluster.tables["t"].regions[0]
+        target = next(
+            s for s in cluster.servers
+            if s is not cluster.server_for(region)
+        )
+        cluster.drain_server(target)
+        step = MoveRegion("t", region.start_key, target.name)
+        with pytest.raises(StaleStepError, match="draining"):
+            step.fence(cluster)
+
+    def test_split_fence_rejects_existing_boundary(self):
+        cluster, _ = build_cluster(splits=[b"%05d" % 20])
+        step = SplitRegion("t", b"%05d" % 20)
+        with pytest.raises(StaleStepError, match="boundary"):
+            step.fence(cluster)
+
+    def test_dissolved_boundary_is_stale(self):
+        cluster, _ = build_cluster(splits=[b"%05d" % 20])
+        step = MoveRegion("t", b"%05d" % 20, "rs1")
+        step.fence(cluster)
+        low = cluster.tables["t"].regions[0]
+        high = cluster.tables["t"].regions[1]
+        cluster.merge_regions(low, high)
+        with pytest.raises(StaleStepError):
+            step.fence(cluster)
+
+
+# ------------------------------------------------------------ rollback
+def assert_rollback_restores_state(cluster, steps, verify_tables=None):
+    """Poison a stage after ``steps`` and check the unwind lands exactly
+    on the pre-rollout state — row-for-row and by layout fingerprint."""
+    rows_before = cluster_snapshot(cluster)
+    layout_before = cluster.layout_fingerprint()
+    epoch_before = cluster.layout_epoch
+    orch = Orchestrator(
+        cluster,
+        stages=[("1:drill", list(steps) + [PoisonStep()])],
+        verify_tables=verify_tables,
+    )
+    report = orch.run()
+    assert report.status == "rolled-back"
+    assert report.committed_stages == 0
+    assert cluster_snapshot(cluster) == rows_before
+    assert cluster.layout_fingerprint() == layout_before
+    # the epoch only ever moves forward: rollback is new history, not
+    # time travel
+    assert cluster.layout_epoch >= epoch_before
+    transient, fatal = verify_cluster(cluster)
+    assert fatal == [] and transient == []
+
+
+class TestRollback:
+    def test_add_servers_rolls_back(self):
+        cluster, _ = build_cluster()
+        assert_rollback_restores_state(cluster, [AddServers(2)])
+        assert len(cluster.servers) == 2
+
+    def test_split_rolls_back_via_merge(self):
+        cluster, _ = build_cluster()
+        assert_rollback_restores_state(
+            cluster, [SplitRegion("t", b"%05d" % 13)]
+        )
+        assert len(cluster.tables["t"].regions) == 1
+
+    def test_merge_rolls_back_via_split(self):
+        cluster, _ = build_cluster(splits=[b"%05d" % 20])
+        assert_rollback_restores_state(
+            cluster, [MergeRegions("t", b"", b"%05d" % 20)]
+        )
+        assert len(cluster.tables["t"].regions) == 2
+
+    def test_move_rolls_back(self):
+        cluster, _ = build_cluster()
+        region = cluster.tables["t"].regions[0]
+        target = next(
+            s for s in cluster.servers
+            if s is not cluster.server_for(region)
+        )
+        assert_rollback_restores_state(
+            cluster, [MoveRegion("t", region.start_key, target.name)]
+        )
+
+    def test_drain_rolls_back_and_regions_come_home(self):
+        cluster, _ = build_cluster(splits=[b"%05d" % 20])
+        hosting = next(s for s in cluster.servers if s.regions)
+        assert_rollback_restores_state(cluster, [DrainServer(hosting.name)])
+        assert not hosting.draining
+        assert hosting.regions
+
+    def test_rebalance_rolls_back(self):
+        cluster, _ = build_cluster(
+            splits=[b"%05d" % k for k in (10, 20, 30)]
+        )
+        cluster.add_servers(2)
+        # rebalance inside a poisoned stage: its recorded moves replay
+        # in reverse, so hosting returns to the skewed layout
+        assert_rollback_restores_state(
+            cluster, [Rebalance("round-robin")]
+        )
+
+    def test_enabling_replication_rolls_back_to_unmanaged(self):
+        cluster, client = build_cluster(
+            replication=ReplicationConfig(replica_count=2), rows=0
+        )
+        client.create_table("empty", families=(FAM,))
+        assert_rollback_restores_state(cluster, [SetReplicas("empty", 2)])
+        assert cluster.replication.groups_for("empty") == []
+
+    def test_raising_replicas_rolls_back_to_old_target(self):
+        cluster, client = build_cluster(
+            servers=3,
+            replication=ReplicationConfig(replica_count=2),
+            rows=0,
+        )
+        client.create_table("r", families=(FAM,))
+        cluster.replication.replicate_table("r")
+        table = client.table("r")
+        for i in range(20):
+            table.put(Put(b"%05d" % i).add(FAM, b"q", b"x%05d" % i))
+        assert_rollback_restores_state(cluster, [SetReplicas("r", 3)])
+        assert cluster.replication.target_for("r") == 2
+
+
+# ------------------------------------------------------------ rollouts
+class TestRollout:
+    def test_full_plan_commits_and_reaches_target(self):
+        cluster, client = build_cluster(
+            replication=ReplicationConfig(replica_count=2), rows=0
+        )
+        client.create_table("r", families=(FAM,))
+        cluster.replication.replicate_table("r")
+        table = client.table("r")
+        for i in range(30):
+            table.put(Put(b"%05d" % i).add(FAM, b"q", b"x%05d" % i))
+        plan = ClusterPlan(
+            servers=4, tables={"r": TablePlan(replicas=3)},
+            balance="load-aware",
+        )
+        report = Orchestrator(cluster, plan=plan).run()
+        assert report.status == "committed"
+        assert report.committed_stages == len(report.stages)
+        assert len([s for s in cluster.servers if not s.draining]) == 4
+        assert cluster.replication.target_for("r") == 3
+        for group in cluster.replication.groups_for("r"):
+            assert len(group.live_followers()) == 2
+        transient, fatal = verify_cluster(cluster)
+        assert fatal == [] and transient == []
+
+    def test_drain_step_degrades_to_recovery_then_drain(self):
+        cluster, _ = build_cluster(splits=[b"%05d" % 20])
+        victim = next(s for s in cluster.servers if s.regions)
+        victim.crash()
+        step = DrainServer(victim.name)
+        step.fence(cluster)
+        step.apply(cluster)
+        assert step.recovered_first
+        assert victim.draining
+        # the crashed server's regions were failed over by recovery, so
+        # the drain itself had nothing left to move
+        assert step.moves == []
+        transient, fatal = verify_cluster(cluster)
+        assert fatal == []
+
+    def test_committed_stages_stay_committed_after_later_failure(self):
+        cluster, _ = build_cluster()
+        orch = Orchestrator(cluster, stages=[
+            ("1:grow", [AddServers(1)]),
+            ("2:doomed", [SplitRegion("t", b"%05d" % 17), PoisonStep()]),
+        ])
+        report = orch.run()
+        assert [s.status for s in report.stages] == [
+            "committed", "rolled-back",
+        ]
+        # stage 1 (the scale-out) survives; stage 2's split unwound
+        assert len(cluster.servers) == 3
+        assert len(cluster.tables["t"].regions) == 1
+
+    def test_report_json_shape(self):
+        cluster, _ = build_cluster()
+        report = Orchestrator(
+            cluster, plan=ClusterPlan(servers=3, balance=None)
+        ).run()
+        payload = report.as_dict()
+        assert payload["status"] == "committed"
+        assert payload["committed_stages"] == payload["total_stages"] == 1
+        assert payload["epoch_end"] > payload["epoch_start"]
+        stage = payload["stages"][0]
+        assert stage["steps"] == ["add-servers(+1)"]
+        assert stage["epoch"] == payload["epoch_end"]
+
+    def test_orchestrator_requires_exactly_one_source(self):
+        cluster, _ = build_cluster()
+        with pytest.raises(ValueError):
+            Orchestrator(cluster)
+        with pytest.raises(ValueError):
+            Orchestrator(
+                cluster, plan=ClusterPlan(servers=2), steps=[AddServers(1)]
+            )

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python tools/check_anchors.py CURRENT.json BASELINE.json
+    python tools/check_anchors.py CURRENT.json BASELINE.json [--json PATH]
 
 Compares the Fig. 10-14 and Table II simulated-latency statistics of a
 freshly emitted ``repro.bench`` trajectory against the committed
@@ -17,6 +17,12 @@ Every drifted anchor is reported (one ``DRIFT:`` line each, with the
 exact fields that moved) before the nonzero exit, so a single CI run
 shows the full blast radius of a cost-model change instead of only its
 first casualty.
+
+``--json PATH`` additionally writes a machine-readable drift report —
+``{"checked", "skipped", "drifted", "failures": [{"experiment",
+"series", "x", "detail"}, ...], "ok"}`` — which CI uploads as an
+artifact so downstream tooling can consume the verdict without
+scraping the log.
 """
 
 import json
@@ -38,7 +44,9 @@ def _describe_drift(stat, base_stat) -> str:
     return "; ".join(parts) if parts else f"{stat!r} != {base_stat!r}"
 
 
-def compare(current: dict, baseline: dict) -> int:
+def compare(current: dict, baseline: dict) -> tuple[int, dict]:
+    """Returns ``(exit_code, report)`` where ``report`` is the
+    machine-readable drift summary ``--json`` emits."""
     checked = skipped = 0
     failures = []
     for experiment in ANCHOR_EXPERIMENTS:
@@ -57,23 +65,46 @@ def compare(current: dict, baseline: dict) -> int:
                 checked += 1
                 if stat != base_stat:
                     failures.append(
-                        f"{experiment}/{label}/{x}: "
-                        + _describe_drift(stat, base_stat)
+                        {
+                            "experiment": experiment,
+                            "series": label,
+                            "x": x,
+                            "detail": _describe_drift(stat, base_stat),
+                        }
                     )
     print(f"anchors checked: {checked}, skipped (not in both runs): {skipped}")
+    report = {
+        "checked": checked,
+        "skipped": skipped,
+        "drifted": len(failures),
+        "failures": failures,
+        "ok": bool(checked) and not failures,
+    }
     if not checked:
         print("error: no overlapping anchor points found", file=sys.stderr)
-        return 2
+        return 2, report
     for failure in failures:
-        print(f"DRIFT: {failure}", file=sys.stderr)
+        print(
+            f"DRIFT: {failure['experiment']}/{failure['series']}/"
+            f"{failure['x']}: {failure['detail']}",
+            file=sys.stderr,
+        )
     if failures:
         print(f"error: {len(failures)} anchor value(s) drifted", file=sys.stderr)
-        return 1
+        return 1, report
     print("all overlapping anchor values are bit-identical")
-    return 0
+    return 0, report
 
 
 def main(argv: list[str]) -> int:
+    json_out = None
+    if "--json" in argv:
+        i = argv.index("--json")
+        if i + 1 >= len(argv):
+            print(__doc__, file=sys.stderr)
+            return 2
+        json_out = argv[i + 1]
+        argv = argv[:i] + argv[i + 2 :]
     if len(argv) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -81,7 +112,12 @@ def main(argv: list[str]) -> int:
         current = json.load(f)
     with open(argv[1]) as f:
         baseline = json.load(f)
-    return compare(current, baseline)
+    code, report = compare(current, baseline)
+    if json_out is not None:
+        with open(json_out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return code
 
 
 if __name__ == "__main__":
