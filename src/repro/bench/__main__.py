@@ -10,10 +10,10 @@ as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
 storage, concurrency, scaleout, faults, replication,
-orchestration``) — handy for quick perf checks.
+orchestration, query``) — handy for quick perf checks.
 
 ``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``,
-``replication`` and ``orchestration``) emits a fully deterministic
+``replication``, ``orchestration`` and ``query``) emits a fully deterministic
 trajectory (virtual-time metrics only, no wall-clock entries): two
 runs with the same seed produce byte-identical JSON. The ``faults``
 experiment additionally verifies the chaos invariants (no acked write
@@ -41,6 +41,7 @@ from repro.bench.experiments import (
     run_fig13,
     run_fig14,
     run_orchestration,
+    run_query,
     run_replication,
     run_scaleout,
     run_storage_perf,
@@ -53,7 +54,7 @@ from repro.bench.tpcw_lab import TpcwLab
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
     "table2", "table3", "concurrency", "scaleout", "faults", "replication",
-    "orchestration",
+    "orchestration", "query",
 )
 
 
@@ -114,6 +115,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--orchestration-ops", type=int, default=48,
                         help="operations per virtual client in the "
                              "orchestration experiment")
+    parser.add_argument("--query-scale", type=int, default=200,
+                        help="TPC-W customers for the query-engine "
+                             "experiment")
+    parser.add_argument("--query-reps", type=int, default=5,
+                        help="repetitions per query in the query-engine "
+                             "experiment")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -272,6 +279,16 @@ def main(argv: list[str] | None = None) -> int:
             progress=say,
         ).values():
             record(r)
+    if "query" in selected:
+        # engine comparison: virtual-time series only, never wall-clock
+        # timed, so the emitted JSON is byte-identical across runs; the
+        # wall-clock engine race on the limited broadcast join goes to
+        # stderr and is asserted by query_smoke in CI
+        record(run_query(
+            num_customers=args.query_scale,
+            repetitions=args.query_reps,
+            progress=say,
+        ))
 
     lab_needed = selected & {"fig12", "fig14", "table2", "table3"}
     if lab_needed:

@@ -13,7 +13,8 @@ from typing import Any
 from repro.errors import DirtyReadRestart, PlanError, ReproError
 from repro.hbase.client import HBaseClient
 from repro.phoenix.catalog import Catalog
-from repro.phoenix.planner import PlannedQuery, Planner
+from repro.phoenix.operators import compile_plan
+from repro.phoenix.planner import CostBasedPlanner, PlannedQuery, Planner
 from repro.phoenix.plans import ExecutionContext, Row, _lookup
 from repro.phoenix.writes import WriteExecutor
 from repro.sim.latency import LatencyCharger
@@ -32,16 +33,50 @@ class PhoenixConnection:
         catalog: Catalog,
         dirty_check_views: bool = False,
         mvcc_version_check: bool = False,
+        engine: str = "legacy",
+        cost_based: bool = False,
     ) -> None:
+        if engine not in ("legacy", "streaming"):
+            raise PlanError(f"unknown query engine {engine!r}")
         self.client = client
         self.catalog = catalog
         self.sim = client.cluster.sim
         self.charge = LatencyCharger(self.sim, "phoenix")
-        self.planner = Planner(catalog, dirty_check_views=dirty_check_views)
+        self.dirty_check_views = dirty_check_views
+        # Both knobs default to the anchored legacy behavior; the
+        # streaming engine and the cost-based planner are opt-in so the
+        # Fig. 10-14 / Table 2 plan shapes (and latencies) never move.
+        self.engine = engine
+        self.cost_based = cost_based
+        self.planner = self._build_planner(cost_based)
         self.writer = WriteExecutor(client, catalog)
         self.mvcc_version_check = mvcc_version_check
         self.hashjoin_row_bytes = 150
         self._plan_cache: dict[str, PlannedQuery] = {}
+
+    def _build_planner(self, cost_based: bool) -> Planner:
+        if cost_based:
+            return CostBasedPlanner(
+                self.catalog,
+                dirty_check_views=self.dirty_check_views,
+                cluster=self.client.cluster,
+                cost=self.client.cluster.config.cost,
+            )
+        return Planner(self.catalog, dirty_check_views=self.dirty_check_views)
+
+    def configure_engine(
+        self, engine: str | None = None, cost_based: bool | None = None
+    ) -> None:
+        """Switch execution engine and/or planner mode on a live
+        connection (clears the plan cache so new plans take effect)."""
+        if engine is not None:
+            if engine not in ("legacy", "streaming"):
+                raise PlanError(f"unknown query engine {engine!r}")
+            self.engine = engine
+        if cost_based is not None and cost_based != self.cost_based:
+            self.cost_based = cost_based
+            self.planner = self._build_planner(cost_based)
+        self._plan_cache.clear()
 
     # -- queries -----------------------------------------------------------------------
     def plan(self, select: Select | str) -> PlannedQuery:
@@ -66,7 +101,10 @@ class PhoenixConnection:
         attempts = 0
         while True:
             try:
-                rows = list(planned.root.execute(ctx))
+                if self.engine == "streaming":
+                    rows = self._run_streaming(planned, ctx)
+                else:
+                    rows = list(planned.root.execute(ctx))
                 break
             except DirtyReadRestart:
                 attempts += 1
@@ -77,6 +115,53 @@ class PhoenixConnection:
                         f"after {attempts} restarts"
                     ) from None
         return [self._shape(planned, row) for row in rows]
+
+    @staticmethod
+    def _run_streaming(planned: PlannedQuery, ctx: ExecutionContext) -> list[Row]:
+        """One streaming attempt: compile, pull every batch, and close
+        the tree on every exit so abandoned scans (LIMIT early-close,
+        dirty restarts) release their region windows deterministically."""
+        op = compile_plan(planned.root)
+        op.open(ctx)
+        try:
+            rows: list[Row] = []
+            while True:
+                batch = op.next_batch()
+                if batch is None:
+                    return rows
+                rows.extend(batch)
+        finally:
+            op.close()
+
+    def stream_query(
+        self, select: Select | str, params: tuple[Any, ...] = ()
+    ) -> Any:
+        """Streaming cursor: yields shaped rows incrementally through
+        the operator pipeline. Closing (or abandoning) the iterator
+        closes the whole tree, releasing in-flight scanner windows.
+
+        Dirty-read restarts are not retried here — a restartable
+        consumer should use :meth:`execute_query`; this cursor is for
+        read paths without dirty checking (and for the early-close
+        guarantee tests)."""
+        planned = self.plan(select)
+        self.sim.charge(self.sim.cost.phoenix_statement_ms, "phoenix.statement")
+        ctx = ExecutionContext(self, tuple(params))
+        op = compile_plan(planned.root)
+        op.open(ctx)
+
+        def cursor():
+            try:
+                while True:
+                    batch = op.next_batch()
+                    if batch is None:
+                        return
+                    for row in batch:
+                        yield self._shape(planned, row)
+            finally:
+                op.close()
+
+        return cursor()
 
     @staticmethod
     def _shape(planned: PlannedQuery, row: Row) -> dict[str, Any]:

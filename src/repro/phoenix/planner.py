@@ -15,10 +15,19 @@ Access-path selection mirrors Phoenix:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Union
 
+from repro.config import DEFAULT_COST_MODEL
 from repro.errors import PlanError, SqlError
+from repro.phoenix.stats import (
+    DEFAULT_ROW_BYTES,
+    FILTER_SELECTIVITY,
+    HASH_CPU_MS_PER_ROW,
+    AccessCoster,
+    StatisticsProvider,
+)
 from repro.phoenix.catalog import Catalog, CatalogEntry, CatalogNamespace, VIEW, VIEW_INDEX
 from repro.sql.analyzer import (
     AnalyzedSelect,
@@ -234,18 +243,7 @@ class Planner:
             else:
                 other_filters[f.binding].append(f)
 
-        # choose the starting binding: strongest access path first
-        def start_score(b: str) -> tuple:
-            entry = self._entry_for_binding(b, analyzed)
-            if entry is None:
-                return (2, 0)
-            prefix, _, _ = self._best_access(
-                entry, set(eq_filters[b]), needed[b]
-            )
-            est = self.catalog.estimated_rows(entry.name)
-            return (0 if prefix else 1, est)
-
-        remaining = sorted(bindings, key=start_score)
+        remaining = self._binding_order(bindings, analyzed, eq_filters, needed)
         first = remaining.pop(0)
         joined: list[str] = [first]
         plan = self._leaf_plan(
@@ -255,23 +253,9 @@ class Planner:
         pending_joins = list(enumerate(analyzed.joins))
 
         while remaining:
-            # prefer a binding connected to the joined set by an equi-join
-            next_b = None
-            for b in remaining:
-                if any(
-                    self._join_connects(j, b, joined)
-                    for _, j in pending_joins
-                    if j.is_equi
-                ):
-                    next_b = b
-                    break
-            if next_b is None:
-                for b in remaining:
-                    if any(self._join_connects(j, b, joined) for _, j in pending_joins):
-                        next_b = b
-                        break
-            if next_b is None:
-                next_b = remaining[0]  # cross product
+            next_b = self._choose_next(
+                remaining, joined, plan, analyzed, eq_filters, needed, pending_joins
+            )
             remaining.remove(next_b)
 
             plan, newly_consumed = self._attach_binding(
@@ -322,6 +306,53 @@ class Planner:
         if j.right_binding == b and j.left_binding in joined:
             return True
         return False
+
+    # -- join-order hooks (overridden by CostBasedPlanner) ---------------------------
+    def _binding_order(
+        self,
+        bindings: list[str],
+        analyzed: AnalyzedSelect,
+        eq_filters: dict[str, dict[str, Expr]],
+        needed: dict[str, set[str] | None],
+    ) -> list[str]:
+        """Rule-based start order: strongest access path first, then
+        smallest estimated row count; derived tables last."""
+
+        def start_score(b: str) -> tuple:
+            entry = self._entry_for_binding(b, analyzed)
+            if entry is None:
+                return (2, 0)
+            prefix, _, _ = self._best_access(
+                entry, set(eq_filters[b]), needed[b]
+            )
+            est = self.catalog.estimated_rows(entry.name)
+            return (0 if prefix else 1, est)
+
+        return sorted(bindings, key=start_score)
+
+    def _choose_next(
+        self,
+        remaining: list[str],
+        joined: list[str],
+        plan: PlanNode,
+        analyzed: AnalyzedSelect,
+        eq_filters: dict[str, dict[str, Expr]],
+        needed: dict[str, set[str] | None],
+        pending_joins: list[tuple[int, JoinCondition]],
+    ) -> str:
+        """Rule-based: first remaining binding connected to the joined
+        set by an equi-join, then by any join, else cross product."""
+        for b in remaining:
+            if any(
+                self._join_connects(j, b, joined)
+                for _, j in pending_joins
+                if j.is_equi
+            ):
+                return b
+        for b in remaining:
+            if any(self._join_connects(j, b, joined) for _, j in pending_joins):
+                return b
+        return remaining[0]  # cross product
 
     def _leaf_plan(
         self,
@@ -577,3 +608,238 @@ class Planner:
                 seen[name] = 0
                 final.append((name, src))
         return tuple(final)
+
+
+class CostBasedPlanner(Planner):
+    """Cost-based access-path and join-order selection.
+
+    Replaces the rule-based heuristics (longest key prefix wins; first
+    connected binding joins next) with estimates priced from region
+    statistics via :mod:`repro.phoenix.stats`:
+
+    * ``_best_access`` ranks base-vs-index (and view-vs-view-index)
+      candidates by estimated access cost instead of prefix length, so
+      a covered index wins exactly when it is cheaper — including
+      narrow-index full scans the prefix rule can never pick;
+    * the starting binding is the one with the cheapest total access,
+      and each subsequent binding is the connected candidate with the
+      lowest estimated incremental join cost (index nested loop when a
+      prefix exists, broadcast hash join otherwise);
+    * every plan node is annotated with ``(est rows, est cost)``, which
+      ``explain()`` renders — the costed plan tree.
+
+    Never used by the anchored experiments: connections only construct
+    it when ``cost_based=True`` is requested explicitly.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        dirty_check_views: bool = False,
+        cluster: Any = None,
+        cost: Any = None,
+    ) -> None:
+        super().__init__(catalog, dirty_check_views=dirty_check_views)
+        self.provider = StatisticsProvider(catalog, cluster)
+        self._cost_model = cost if cost is not None else DEFAULT_COST_MODEL
+
+    def _coster(self) -> AccessCoster:
+        return AccessCoster(self._cost_model, self.provider.servers)
+
+    # -- public ---------------------------------------------------------------------
+    def plan_select(self, select: Select) -> PlannedQuery:
+        planned = super().plan_select(select)
+        self.estimate(planned.root)  # annotate the tree for explain()
+        return planned
+
+    # -- access-path costing ----------------------------------------------------------
+    def _access_estimate(
+        self,
+        prefix: tuple[str, ...],
+        cand: CatalogEntry,
+        lookup: CatalogEntry | None,
+    ) -> tuple[float, float]:
+        coster = self._coster()
+        lookup_stats = (
+            self.provider.stats_for(lookup) if lookup is not None else None
+        )
+        return coster.access_ms(
+            self.provider.stats_for(cand),
+            len(prefix),
+            len(cand.key_attrs),
+            lookup_stats,
+        )
+
+    def _best_access(
+        self,
+        entry: CatalogEntry,
+        available: set[str],
+        needed: set[str] | None,
+    ) -> tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]:
+        candidates: list[tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]] = []
+        for cand in [entry, *self.catalog.indexes_for(entry)]:
+            prefix: list[str] = []
+            for k in cand.key_attrs:
+                if k in available:
+                    prefix.append(k)
+                else:
+                    break
+            covered = (
+                needed is None and set(cand.attrs) >= set(entry.attrs)
+            ) or (needed is not None and needed <= set(cand.attrs))
+            lookup = None if (cand is entry or covered) else entry
+            candidates.append((tuple(prefix), cand, lookup))
+
+        def rank(c: tuple[tuple[str, ...], CatalogEntry, CatalogEntry | None]):
+            prefix, cand, lookup = c
+            _, ms = self._access_estimate(prefix, cand, lookup)
+            # cheapest first; deterministic tie-break prefers the base
+            # entry, covered access, then name
+            return (ms, 0 if cand is entry else 1, 0 if lookup is None else 1, cand.name)
+
+        return min(candidates, key=rank)
+
+    # -- join-order costing ------------------------------------------------------------
+    def _binding_order(
+        self,
+        bindings: list[str],
+        analyzed: AnalyzedSelect,
+        eq_filters: dict[str, dict[str, Expr]],
+        needed: dict[str, set[str] | None],
+    ) -> list[str]:
+        def start_cost(item: tuple[int, str]) -> tuple:
+            index, b = item
+            entry = self._entry_for_binding(b, analyzed)
+            if entry is None:
+                # derived tables join in last (they always hash-join)
+                return (math.inf, index)
+            prefix, cand, lookup = self._best_access(
+                entry, set(eq_filters[b]), needed[b]
+            )
+            _, ms = self._access_estimate(prefix, cand, lookup)
+            return (ms, index)
+
+        ordered = sorted(enumerate(bindings), key=start_cost)
+        return [b for _, b in ordered]
+
+    def _attach_estimate(
+        self,
+        binding: str,
+        joined: list[str],
+        plan_rows: float,
+        analyzed: AnalyzedSelect,
+        eq_filters: dict[str, dict[str, Expr]],
+        needed: dict[str, set[str] | None],
+        pending_joins: list[tuple[int, JoinCondition]],
+    ) -> tuple[float, float]:
+        """Estimated ``(output rows, incremental cost)`` of joining
+        ``binding`` into a plan currently producing ``plan_rows``."""
+        coster = self._coster()
+        conds = [
+            j for _, j in pending_joins
+            if j.is_equi and self._join_connects(j, binding, joined)
+        ]
+        entry = self._entry_for_binding(binding, analyzed)
+        if entry is None:
+            # derived table: hash join against an unknown-size input
+            build_rows = 1000.0
+            rows = coster.equi_join_rows(plan_rows, build_rows, len(conds))
+            return rows, coster.hash_join_ms(plan_rows, build_rows, DEFAULT_ROW_BYTES)
+        join_attrs = {
+            (j.left_attr if j.left_binding == binding else j.right_attr)
+            for j in conds
+        }
+        available = set(eq_filters[binding]) | join_attrs
+        prefix, cand, lookup = self._best_access(entry, available, needed[binding])
+        per_probe_rows, per_probe_ms = self._access_estimate(prefix, cand, lookup)
+        if prefix:
+            # index nested loop: one probe per outer row
+            return (
+                plan_rows * per_probe_rows,
+                coster.nl_join_ms(plan_rows, per_probe_ms),
+            )
+        build_rows, build_ms = self._access_estimate((), cand, lookup)
+        rows = coster.equi_join_rows(plan_rows, build_rows, len(conds))
+        stats = self.provider.stats_for(cand)
+        return rows, build_ms + coster.hash_join_ms(
+            plan_rows, build_rows, stats.avg_row_bytes
+        )
+
+    def _choose_next(
+        self,
+        remaining: list[str],
+        joined: list[str],
+        plan: PlanNode,
+        analyzed: AnalyzedSelect,
+        eq_filters: dict[str, dict[str, Expr]],
+        needed: dict[str, set[str] | None],
+        pending_joins: list[tuple[int, JoinCondition]],
+    ) -> str:
+        plan_rows, _ = self.estimate(plan)
+        connected = [
+            b for b in remaining
+            if any(self._join_connects(j, b, joined) for _, j in pending_joins)
+        ]
+        candidates = connected or remaining  # cartesian fallback
+
+        def attach_cost(item: tuple[int, str]) -> tuple:
+            index, b = item
+            _, ms = self._attach_estimate(
+                b, joined, plan_rows, analyzed, eq_filters, needed, pending_joins
+            )
+            return (ms, index)
+
+        pool = [(i, b) for i, b in enumerate(remaining) if b in candidates]
+        return min(pool, key=attach_cost)[1]
+
+    # -- plan-tree estimation ----------------------------------------------------------
+    def estimate(self, node: PlanNode) -> tuple[float, float]:
+        """Bottom-up ``(rows, cost_ms)`` estimate; annotates every node
+        (rendered by ``describe``/``explain``)."""
+        coster = self._coster()
+        if isinstance(node, ScanNode):
+            rows, ms = self._access_estimate(
+                node.access.prefix_attrs, node.access.entry, node.access.lookup_entry
+            )
+            rows *= FILTER_SELECTIVITY ** len(node.access.residuals)
+        elif isinstance(node, SubqueryNode):
+            rows, ms = self.estimate(node.subplan)
+        elif isinstance(node, NestedLoopJoinNode):
+            outer_rows, outer_ms = self.estimate(node.outer)
+            per_probe_rows, per_probe_ms = self._access_estimate(
+                node.inner.prefix_attrs, node.inner.entry, node.inner.lookup_entry
+            )
+            rows = outer_rows * per_probe_rows
+            ms = outer_ms + coster.nl_join_ms(outer_rows, per_probe_ms)
+        elif isinstance(node, HashJoinNode):
+            probe_rows, probe_ms = self.estimate(node.probe)
+            build_rows, build_ms = self.estimate(node.build)
+            rows = coster.equi_join_rows(probe_rows, build_rows, len(node.probe_keys))
+            ms = probe_ms + build_ms + coster.hash_join_ms(
+                probe_rows, build_rows, DEFAULT_ROW_BYTES
+            )
+        elif isinstance(node, FilterNode):
+            rows, ms = self.estimate(node.child)
+            rows *= FILTER_SELECTIVITY ** len(node.predicates)
+        elif isinstance(node, SortNode):
+            rows, ms = self.estimate(node.child)
+            ms += rows * HASH_CPU_MS_PER_ROW
+        elif isinstance(node, GroupByNode):
+            in_rows, ms = self.estimate(node.child)
+            ms += in_rows * HASH_CPU_MS_PER_ROW
+            rows = in_rows ** 0.5 if node.group_keys else 1.0
+        elif isinstance(node, LimitNode):
+            rows, ms = self.estimate(node.child)
+            rows = min(rows, float(node.limit))
+        elif isinstance(node, DistinctNode):
+            rows, ms = self.estimate(node.child)
+            ms += rows * HASH_CPU_MS_PER_ROW
+        else:  # MaterializedNode and anything future: neutral estimate
+            children = node.children()
+            rows, ms = 0.0, 0.0
+            for child in children:
+                r, m = self.estimate(child)
+                rows += r
+                ms += m
+        node._est = (rows, ms)
+        return rows, ms

@@ -199,7 +199,13 @@ class PlanNode:
         return ()
 
     def describe(self, indent: int = 0) -> str:
-        lines = [("  " * indent) + self._label()]
+        est = getattr(self, "_est", None)
+        suffix = (
+            f"  -- est rows={est[0]:.0f} cost={est[1]:.3f}ms"
+            if est is not None
+            else ""
+        )
+        lines = [("  " * indent) + self._label() + suffix]
         for child in self.children():
             lines.append(child.describe(indent + 1))
         return "\n".join(lines)

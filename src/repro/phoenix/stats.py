@@ -1,0 +1,167 @@
+"""Table statistics and the planner cost model.
+
+The cost-based planner prices access paths and join orders from two
+sources the repo already maintains:
+
+* ``catalog.stats`` — per-entry row counts refreshed by
+  ``PhoenixConnection.analyze()`` (unknown entries fall back to the
+  catalog's pessimistic default);
+* the cluster layer's region metadata — region count and
+  ``approx_size_bytes`` per table — which yields average row width and
+  the number of scanner-open round trips a full scan pays.
+
+Everything here is pure arithmetic over those numbers and the
+:class:`repro.config.CostModel` latency constants, so estimates are
+deterministic and unit-testable without a cluster
+(``tests/test_planner_cost.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.config import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hbase.cluster import HBaseCluster
+    from repro.phoenix.catalog import Catalog, CatalogEntry
+
+DEFAULT_ROW_BYTES = 150
+"""Width assumed when a table has no measured size (matches the
+``hashjoin_row_bytes`` broadcast calibration)."""
+
+HASH_CPU_MS_PER_ROW = 0.0005
+"""Client-side per-row hash/sort work (same constant the executors
+charge for sorts and group-bys)."""
+
+FILTER_SELECTIVITY = 0.25
+"""Assumed fraction of rows surviving one residual predicate."""
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics snapshot for one catalog entry."""
+
+    name: str
+    rows: int
+    size_bytes: int
+    regions: int
+
+    @property
+    def avg_row_bytes(self) -> float:
+        if self.rows > 0 and self.size_bytes > 0:
+            return self.size_bytes / self.rows
+        return float(DEFAULT_ROW_BYTES)
+
+
+class StatisticsProvider:
+    """Resolves :class:`TableStats` for catalog entries, preferring live
+    region metadata and degrading gracefully to catalog row counts."""
+
+    def __init__(self, catalog: "Catalog", cluster: "HBaseCluster | None" = None):
+        self.catalog = catalog
+        self.cluster = cluster
+
+    def stats_for(self, entry: "CatalogEntry") -> TableStats:
+        rows = self.catalog.estimated_rows(entry.name)
+        size_bytes = 0
+        regions = 1
+        if self.cluster is not None and entry.name in self.cluster.tables:
+            desc = self.cluster.descriptor(entry.name)
+            regions = max(len(desc.regions), 1)
+            size_bytes = self.cluster.table_size_bytes(entry.name)
+        return TableStats(
+            name=entry.name, rows=rows, size_bytes=size_bytes, regions=regions
+        )
+
+    @property
+    def servers(self) -> int:
+        if self.cluster is None:
+            return 1
+        return max(len(self.cluster.servers), 1)
+
+
+def matched_rows(rows: int, prefix_len: int, key_len: int) -> float:
+    """Rows matching an equality prefix of ``prefix_len`` of a
+    ``key_len``-attribute key: the uniform-key estimate
+    ``rows ** (1 - prefix_len/key_len)`` — monotonically shrinking as
+    the prefix grows, exactly 1 row for a full-key point access."""
+    if rows <= 0:
+        return 0.0
+    if key_len <= 0 or prefix_len >= key_len:
+        return 1.0
+    if prefix_len <= 0:
+        return float(rows)
+    return float(rows) ** (1.0 - prefix_len / key_len)
+
+
+class AccessCoster:
+    """Prices physical access paths and joins in virtual milliseconds."""
+
+    def __init__(self, cost: CostModel, servers: int = 1) -> None:
+        self.cost = cost
+        self.servers = max(servers, 1)
+
+    # -- leaf access -------------------------------------------------------------
+    def point_get_ms(self, stats: TableStats) -> float:
+        c = self.cost
+        return (
+            c.rpc_base_ms
+            + c.seek_ms
+            + c.read_row_ms
+            + stats.avg_row_bytes / 1024.0 * c.network_ms_per_kb
+        )
+
+    def scan_ms(self, stats: TableStats, prefix_len: int, key_len: int) -> float:
+        """A prefix scan opens one region window; a full scan opens one
+        per region. Batched transfer RPCs amortize per
+        ``scan_batch_rows`` rows."""
+        c = self.cost
+        rows = matched_rows(stats.rows, prefix_len, key_len)
+        regions = 1 if prefix_len > 0 else stats.regions
+        open_cost = regions * (c.rpc_base_ms + c.seek_ms)
+        batches = rows / max(c.scan_batch_rows, 1)
+        transfer = rows * stats.avg_row_bytes / 1024.0 * c.network_ms_per_kb
+        return open_cost + rows * c.read_row_ms + batches * c.rpc_base_ms + transfer
+
+    def access_ms(
+        self,
+        stats: TableStats,
+        prefix_len: int,
+        key_len: int,
+        lookup_stats: TableStats | None = None,
+    ) -> tuple[float, float]:
+        """Returns ``(matched_rows, cost_ms)`` for one access: point get
+        when the prefix covers the key, scan otherwise, plus one base-
+        table point get per matched row for non-covered index paths."""
+        rows = matched_rows(stats.rows, prefix_len, key_len)
+        if key_len > 0 and prefix_len >= key_len:
+            ms = self.point_get_ms(stats)
+        else:
+            ms = self.scan_ms(stats, prefix_len, key_len)
+        if lookup_stats is not None:
+            ms += rows * self.point_get_ms(lookup_stats)
+        return rows, ms
+
+    # -- joins -------------------------------------------------------------------
+    def nl_join_ms(self, outer_rows: float, per_probe_ms: float) -> float:
+        return outer_rows * per_probe_ms
+
+    def hash_join_ms(
+        self, probe_rows: float, build_rows: float, row_bytes: float
+    ) -> float:
+        """Broadcast hash join: the build side is hashed and shipped to
+        every region server; both sides pay per-row hash work."""
+        c = self.cost
+        broadcast = build_rows * row_bytes * self.servers / 1024.0 * c.network_ms_per_kb
+        return broadcast + (probe_rows + build_rows) * HASH_CPU_MS_PER_ROW
+
+    @staticmethod
+    def equi_join_rows(left_rows: float, right_rows: float, n_keys: int) -> float:
+        """Textbook equi-join estimate ``|L|*|R| / max(|L|,|R|)`` (the
+        join key is a key of the larger side); cartesian when keyless."""
+        if n_keys == 0:
+            return left_rows * right_rows
+        denom = max(left_rows, right_rows, 1.0)
+        return left_rows * right_rows / denom

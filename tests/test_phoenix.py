@@ -277,3 +277,70 @@ class TestWritePath:
         rpcs = sim.metrics.counters()["client.rpc"] - before
         # full scan of Employee (1 open + 1 batch) + 10 point gets
         assert rpcs >= 12
+
+
+class TestSubqueryUnderJoin:
+    """SubqueryNode feeding the OUTER side of a join — derived rows
+    (keyed ``(alias, out_name)``) must drive later joins exactly like
+    base-table rows, on every engine. Expected row counts are derived
+    by hand from the deterministic company data."""
+
+    ENGINE_MODES = (("legacy", False), ("streaming", False), ("streaming", True))
+
+    def _all_engines(self, conn, sql, params=()):
+        out = []
+        try:
+            for engine, cost_based in self.ENGINE_MODES:
+                conn.configure_engine(engine=engine, cost_based=cost_based)
+                rows = conn.execute_query(sql, params)
+                out.append(sorted(tuple(sorted(r.items())) for r in rows))
+        finally:
+            conn.configure_engine(engine="legacy", cost_based=False)
+        assert out[0] == out[1] == out[2]
+        return out[0]
+
+    def test_derived_feeds_nl_join_outer_keys(self, company_conn):
+        """The derived binding's EID (a ``(d, EID)`` outer key merged
+        through a hash join) probes the Works_On NL join."""
+        sql = (
+            "SELECT * FROM Works_On as wo, "
+            "(SELECT EID FROM Employee WHERE E_DNo = ?) as d, Address as a "
+            "WHERE wo.WO_EID = d.EID and a.AID = d.EID"
+        )
+        text = company_conn.plan(sql).root.describe()
+        assert "NL JOIN -> Works_On" in text and "DERIVED TABLE as d" in text
+        rows = self._all_engines(company_conn, sql, (1,))
+        # dept 1 = even EIDs {2,4,6,8,10}; AID<=5 keeps {2,4}; each even
+        # employee has exactly one Works_On row (pno=2)
+        assert len(rows) == 2
+        assert sorted(dict(r)["EID"] for r in rows) == [2, 4]
+
+    def test_join_of_two_derived_tables(self, company_conn):
+        sql = (
+            "SELECT * FROM (SELECT EID, E_DNo FROM Employee) as d1, "
+            "(SELECT DNo, DName FROM Department) as d2 "
+            "WHERE d1.E_DNo = d2.DNo"
+        )
+        rows = self._all_engines(company_conn, sql)
+        assert len(rows) == 10  # every employee matches its department
+
+    def test_aggregate_derived_table_on_build_side(self, company_conn):
+        sql = (
+            "SELECT * FROM "
+            "(SELECT WO_EID, SUM(Hours) FROM Works_On GROUP BY WO_EID) as t, "
+            "Employee as e WHERE t.WO_EID = e.EID"
+        )
+        rows = self._all_engines(company_conn, sql)
+        assert len(rows) == 10  # every employee works on something
+        by_eid = {dict(r)["EID"]: dict(r)["SUM(Hours)"] for r in rows}
+        # odd EIDs work pno 1 and 3 (10+30), even EIDs only pno 2 (20)
+        assert by_eid[1] == 40 and by_eid[2] == 20
+
+    def test_derived_as_sole_outer_of_hash_join(self, company_conn):
+        sql = (
+            "SELECT * FROM "
+            "(SELECT EID FROM Employee WHERE E_DNo = ?) as d, Works_On as wo "
+            "WHERE d.EID = wo.WO_EID"
+        )
+        rows = self._all_engines(company_conn, sql, (2,))
+        assert len(rows) == 10  # 5 odd employees x 2 Works_On rows each

@@ -214,3 +214,122 @@ class TestFourClientSchedule:
                     "SELECT * FROM Shopping_cart WHERE sc_id = ?", (sc_id,)
                 )
                 assert cart[0]["sc_time"] == float(expected_stock), name
+
+
+class TestStreamingEngine:
+    """The streaming operator pipeline must be row-equivalent to the
+    serial legacy executor even when queries run through the
+    deterministic cooperative scheduler at 4 clients."""
+
+    @pytest.fixture(scope="class")
+    def engines(self):
+        out = {}
+        for engine in ("legacy", "streaming"):
+            lab = TpcwLab(
+                num_customers=SCALE, repetitions=2, seed=SEED,
+                query_engine=engine,
+            )
+            system = lab.build_system("Baseline")
+            lab.populate(system)
+            out[engine] = (lab, system)
+        return out
+
+    def test_streaming_scheduled_rows_equal_legacy_serial(self, engines):
+        lab, legacy_system = engines["legacy"]
+        serial = {}
+        for qid in JOIN_QUERIES:
+            params = lab.generator.params_for_query(qid, 0)
+            serial[qid] = canonical(
+                qid, legacy_system.execute(legacy_system.statement(qid), params)
+            )
+
+        s_lab, streaming = engines["streaming"]
+        scheduler = DeterministicScheduler(streaming.sim)
+        collected: dict[str, list] = {}
+        qids = list(JOIN_QUERIES)
+        for i in range(4):
+            session = streaming.open_session(f"c{i}")
+            share = qids[i::4]
+
+            def program(client, session=session, share=share):
+                for qid in share:
+                    params = s_lab.generator.params_for_query(qid, 0)
+                    yield "op"
+                    rows = session.execute(streaming.statement(qid), params)
+                    collected[qid] = canonical(qid, rows)
+
+            scheduler.add_client(f"c{i}", program)
+        report = scheduler.run()
+        assert report.steps >= len(qids)
+        assert collected == serial
+
+
+class TestStreamingEarlyClose:
+    """LIMIT-abandoned operator trees must release their scanner state:
+    in-flight batch charges settle and the region-server serial window
+    is released at close time (the PR 4 scan-finally guarantee, driven
+    through the streaming cursor)."""
+
+    #: Big enough that Orders (10x customers) spans several operator
+    #: batches and several scan-batch charge boundaries — at tiny scales
+    #: one 256-row batch swallows a whole table and nothing closes early.
+    EARLY_CLOSE_SCALE = 120
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        lab = TpcwLab(
+            num_customers=self.EARLY_CLOSE_SCALE, repetitions=1, seed=SEED,
+            query_engine="streaming",
+        )
+        system = lab.build_system("Baseline")
+        lab.populate(system)
+        return system
+
+    def test_abandoned_cursor_settles_batch_and_releases_window(self, baseline):
+        from repro.sim.scheduler import ConcurrencyContext
+
+        conn, sim = baseline.conn, baseline.sim
+        ctx = ConcurrencyContext()
+        sim.concurrency = ctx
+        try:
+            # Order_line is bigger than one operator batch, so after a
+            # few rows the region scan is still mid-flight
+            cursor = conn.stream_query("SELECT ol.ol_o_id FROM Order_line as ol")
+            for _ in range(5):
+                next(cursor)
+            counters = sim.metrics.counters()
+            rpc_before = counters["client.rpc"]
+            bytes_before = counters.get("client.bytes", 0)
+            cursor.close()  # consumer abandons the operator tree
+            counters = sim.metrics.counters()
+            assert counters["client.rpc"] == rpc_before + 1  # settled batch
+            assert counters["client.bytes"] > bytes_before
+            # the scan's finally released the server's serial window as
+            # of the settlement clock — nothing left holding the region
+            assert ctx._serial_busy_until
+            assert max(ctx._serial_busy_until.values()) == sim.clock.now_ms
+        finally:
+            sim.concurrency = None
+
+    def test_limit_closes_scans_before_exhaustion(self, baseline):
+        """A satisfied LIMIT closes the whole tree at once: the
+        streaming broadcast-shaped join performs strictly fewer scan
+        RPCs than the legacy engine, which must finish the full
+        build-side scan before emitting its first row."""
+        conn, sim = baseline.conn, baseline.sim
+        sql = (
+            "SELECT o.o_id, o2.o_id FROM Orders as o, Orders as o2 "
+            "WHERE o.o_date = o2.o_date LIMIT 10"
+        )
+        rpc_before = sim.metrics.counters()["client.rpc"]
+        rows = conn.execute_query(sql)
+        streaming_rpcs = sim.metrics.counters()["client.rpc"] - rpc_before
+        assert len(rows) == 10
+
+        conn.configure_engine(engine="legacy")
+        rpc_before = sim.metrics.counters()["client.rpc"]
+        rows_legacy = conn.execute_query(sql)
+        legacy_rpcs = sim.metrics.counters()["client.rpc"] - rpc_before
+        conn.configure_engine(engine="streaming")
+        assert len(rows_legacy) == 10
+        assert streaming_rpcs < legacy_rpcs
