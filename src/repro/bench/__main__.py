@@ -10,7 +10,7 @@ as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
 storage, concurrency, scaleout, faults, replication,
-orchestration, query``) — handy for quick perf checks.
+orchestration, query, serving``) — handy for quick perf checks.
 
 ``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``,
 ``replication``, ``orchestration`` and ``query``) emits a fully deterministic
@@ -44,6 +44,7 @@ from repro.bench.experiments import (
     run_query,
     run_replication,
     run_scaleout,
+    run_serving,
     run_storage_perf,
     run_table1,
     run_table2,
@@ -54,7 +55,7 @@ from repro.bench.tpcw_lab import TpcwLab
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
     "table2", "table3", "concurrency", "scaleout", "faults", "replication",
-    "orchestration", "query",
+    "orchestration", "query", "serving",
 )
 
 
@@ -115,6 +116,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--orchestration-ops", type=int, default=48,
                         help="operations per virtual client in the "
                              "orchestration experiment")
+    parser.add_argument("--serving-clients", type=str, default="64,256,1024",
+                        help="comma-separated virtual-client counts "
+                             "(offered load) for the serving experiment")
+    parser.add_argument("--serving-ops", type=int, default=6,
+                        help="operations per virtual client in the "
+                             "serving experiment")
+    parser.add_argument("--serving-population", type=int, default=1_000_000,
+                        help="Zipfian user population for the serving "
+                             "experiment (paper: millions of users)")
+    parser.add_argument("--serving-zipf-s", type=float, default=1.1,
+                        help="Zipf skew parameter s for the serving "
+                             "experiment")
     parser.add_argument("--query-scale", type=int, default=200,
                         help="TPC-W customers for the query-engine "
                              "experiment")
@@ -276,6 +289,23 @@ def main(argv: list[str] | None = None) -> int:
             orchestration_cycles,
             clients=args.orchestration_clients,
             ops_per_client=args.orchestration_ops,
+            progress=say,
+        ).values():
+            record(r)
+    if "serving" in selected:
+        # serving trajectory: virtual-time metrics only, never
+        # wall-clock timed, so the emitted JSON is byte-identical across
+        # runs; any durability/read-oracle violation aborts the run
+        serving_clients = tuple(
+            int(s)
+            for s in args.serving_clients.split(",")
+            if s.strip() and int(s) > 0
+        )
+        for r in run_serving(
+            serving_clients,
+            ops_per_client=args.serving_ops,
+            population=args.serving_population,
+            zipf_s=args.serving_zipf_s,
             progress=say,
         ).values():
             record(r)

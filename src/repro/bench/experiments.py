@@ -20,12 +20,22 @@ from repro.config import (
     CostModel,
     DEFAULT_COST_MODEL,
     ReplicationConfig,
+    ServingConfig,
 )
+from repro.errors import ServerOverloadedError
 from repro.hbase.client import HBaseClient, HTable
 from repro.hbase.cluster import HBaseCluster, RegionBalancer
 from repro.sim.clock import Simulation
-from repro.sim.faults import FaultConfig, run_chaos_cell
+from repro.sim.faults import (
+    FAMILY,
+    QUALIFIER,
+    ChaosHistory,
+    FaultConfig,
+    check_invariants,
+    run_chaos_cell,
+)
 from repro.sim.rng import derive_rng
+from repro.tpcw.serving import ServingWorkload, ZipfianPopulation
 from repro.sim.scheduler import DeterministicScheduler, percentile, run_transaction
 from repro.synergy.locks import LockBatch
 from repro.synergy.system import SynergySystem
@@ -816,6 +826,317 @@ def faults_smoke(
         "stalled_ops": len(run.history.stalls_ms),
         "committed": run.report.committed,
         "violations": len(run.violations),
+    }
+
+
+# ------------------------------------------------------------------- serving
+SERVING_MODES = ("baseline", "cache", "cache+shed")
+
+
+def _serving_config(
+    mode: str,
+    cache_bytes: int,
+    queue_ms: float,
+    p99_budget_ms: float,
+    qos_weights: tuple[tuple[str, float], ...] = (),
+) -> ServingConfig:
+    """Map a bench mode name onto a :class:`ServingConfig`."""
+    if mode == "baseline":
+        return ServingConfig()
+    if mode == "cache":
+        return ServingConfig(row_cache_bytes=cache_bytes)
+    if mode == "cache+shed":
+        return ServingConfig(
+            row_cache_bytes=cache_bytes,
+            admission_queue_ms=queue_ms,
+            p99_budget_ms=p99_budget_ms,
+            qos_weights=qos_weights,
+        )
+    raise ValueError(f"unknown serving mode {mode!r}")
+
+
+def _serving_cell(
+    clients: int,
+    ops_per_client: int,
+    mode: str,
+    *,
+    num_servers: int = 4,
+    key_space: int = 2048,
+    population: int = 1_000_000,
+    zipf_s: float = 1.1,
+    read_fraction: float = 0.9,
+    value_bytes: int = 96,
+    cache_bytes: int = 64 * 1024,
+    queue_ms: float = 8.0,
+    p99_budget_ms: float = 6.0,
+    max_shed_retries: int = 3,
+    seed: int = 20170904,
+    zipf: ZipfianPopulation | None = None,
+) -> dict[str, float | int]:
+    """One serving-grid cell: ``clients`` closed-loop virtual clients
+    replaying their personal Zipfian streams against a pre-split table
+    under one serving ``mode``.
+
+    Sheds surface to the client program as ``ServerOverloadedError``;
+    the program backs off ``retry_after_ms * attempt`` (virtual time),
+    retries up to ``max_shed_retries`` times, then drops the op. Every
+    committed op is recorded into a :class:`ChaosHistory` and the cell
+    ends with a full durability / read-oracle invariant check, so the
+    cache and admission layers are correctness-gated, not just timed.
+    All metrics derive from virtual time and seeded draws: reruns are
+    byte-identical.
+    """
+    serving = _serving_config(mode, cache_bytes, queue_ms, p99_budget_ms)
+    sim = Simulation(seed=seed)
+    config = ClusterConfig(
+        num_region_servers=num_servers, seed=seed, serving=serving
+    )
+    cluster = HBaseCluster(sim, config)
+    client = HBaseClient(cluster)
+    regions = num_servers * 2
+    split_keys = [
+        b"%08d" % (i * key_space // regions) for i in range(1, regions)
+    ]
+    table = client.create_table("serve", split_keys=split_keys)
+
+    history = ChaosHistory()
+    puts = []
+    for i in range(key_space):
+        row = b"%08d" % i
+        value = (b"seed-%08d" % i).ljust(value_bytes, b".")
+        p = Put(row)
+        p.add(FAMILY, QUALIFIER, value)
+        puts.append(p)
+        history.record_ack(row, value)
+    table.put_batch(puts)
+    sim.reset_clock()
+
+    if zipf is None:
+        zipf = ZipfianPopulation(population, zipf_s)
+    workload = ServingWorkload(zipf, key_space, seed, read_fraction)
+    shed_retries = [0]
+    dropped = [0]
+    scheduler = DeterministicScheduler(sim)
+    for i in range(clients):
+        # stream label excludes clients/mode: client i replays the same
+        # mix in every cell, so modes differ only in serving machinery
+        ops = workload.ops_for_client(i, ops_per_client)
+        handle = HTable(cluster, "serve")
+
+        def program(vc, handle=handle, ops=ops, client_id=i):
+            for op_index, (kind, row) in enumerate(ops):
+                yield "op"
+                started = vc.clock.now_ms
+                attempts = 0
+                while True:
+                    try:
+                        if kind == "get":
+                            result = handle.get(Get(row))
+                            history.record_get(
+                                row,
+                                result.value(FAMILY, QUALIFIER)
+                                if result is not None else None,
+                            )
+                        else:
+                            value = (
+                                b"c%06d-%04d" % (client_id, op_index)
+                            ).ljust(value_bytes, b".")
+                            p = Put(row)
+                            p.add(FAMILY, QUALIFIER, value)
+                            handle.put(p)
+                            history.record_ack(row, value)
+                        vc.stats.committed += 1
+                        vc.stats.response_times.append(
+                            vc.clock.now_ms - started
+                        )
+                        break
+                    except ServerOverloadedError as shed:
+                        attempts += 1
+                        shed_retries[0] += 1
+                        if attempts > max_shed_retries:
+                            dropped[0] += 1
+                            vc.stats.failed += 1
+                            break
+                        vc.clock.advance(shed.retry_after_ms * attempts)
+                        yield "shed-backoff"
+
+        scheduler.add_client(f"serve-{i}", program)
+    report = scheduler.run()
+
+    violations = check_invariants(history, HTable(cluster, "serve"))
+    totals = cluster.serving_stats()["totals"]
+    rts = report.response_times
+    goodput = (
+        report.committed / (report.makespan_ms / 1000.0)
+        if report.makespan_ms > 0 else 0.0
+    )
+    return {
+        "mode": mode,
+        "clients": clients,
+        "committed": report.committed,
+        "goodput": goodput,
+        "p50": percentile(rts, 0.50) if rts else 0.0,
+        "p99": percentile(rts, 0.99) if rts else 0.0,
+        "hit_ratio": totals["cache_hit_ratio"],
+        "cache_hits": totals["cache_hits"],
+        "cache_evictions": totals["cache_evictions"],
+        "shed": totals["shed"],
+        "shed_rate": totals["shed_rate"],
+        "shed_retries": shed_retries[0],
+        "dropped": dropped[0],
+        "queue_waits": report.serial_wait_count,
+        "violations": len(violations),
+        "violation_detail": list(violations),
+    }
+
+
+def run_serving(
+    client_counts: tuple[int, ...] = (64, 256, 1024),
+    ops_per_client: int = 6,
+    modes: tuple[str, ...] = SERVING_MODES,
+    num_servers: int = 4,
+    key_space: int = 2048,
+    population: int = 1_000_000,
+    zipf_s: float = 1.1,
+    cache_bytes: int = 64 * 1024,
+    queue_ms: float = 8.0,
+    p99_budget_ms: float = 6.0,
+    seed: int = 20170904,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Serving sweep: offered load (virtual clients) x serving mode.
+
+    The workload is the million-user Zipfian population folded onto the
+    profile key space — the hot head lands on a handful of rows, so one
+    region server saturates long before the cluster does. The sweep
+    reports, per mode: goodput (committed ops/s, drops excluded), p50
+    and p99 response time (shed-retry backoff included), cache hit
+    ratio and shed rate. A cell with any durability or read-oracle
+    violation aborts the experiment. Reruns are byte-identical.
+    """
+    say = progress or (lambda _m: None)
+    results = {
+        "goodput": ExperimentResult(
+            "ServingGoodput",
+            "Committed ops per second vs offered load (Zipfian users)",
+            "virtual clients",
+            unit="ops/s (virtual)",
+        ),
+        "p50": ExperimentResult(
+            "ServingP50",
+            "Median op response time vs offered load (Zipfian users)",
+            "virtual clients",
+        ),
+        "p99": ExperimentResult(
+            "ServingP99",
+            "99th percentile op response time vs offered load",
+            "virtual clients",
+        ),
+        "hit_ratio": ExperimentResult(
+            "ServingHitRatio",
+            "Row-cache hit ratio vs offered load",
+            "virtual clients",
+            unit="fraction",
+        ),
+        "shed_rate": ExperimentResult(
+            "ServingShedRate",
+            "Admission-control shed rate vs offered load",
+            "virtual clients",
+            unit="fraction",
+        ),
+    }
+    for r in results.values():
+        r.x_values = list(client_counts)
+    series = {
+        metric: {m: r.add_series(m) for m in modes}
+        for metric, r in results.items()
+    }
+    zipf = ZipfianPopulation(population, zipf_s)
+    mode_notes: list[str] = []
+    for mode in modes:
+        for clients in client_counts:
+            say(f"[serving] {clients} clients, mode={mode}")
+            cell = _serving_cell(
+                clients, ops_per_client, mode,
+                num_servers=num_servers, key_space=key_space,
+                population=population, zipf_s=zipf_s,
+                cache_bytes=cache_bytes, queue_ms=queue_ms,
+                p99_budget_ms=p99_budget_ms, seed=seed, zipf=zipf,
+            )
+            if cell["violations"]:
+                raise RuntimeError(
+                    f"serving cell ({clients} clients, {mode}) violated "
+                    f"invariants: {cell['violation_detail']}"
+                )
+            series["goodput"][mode].set(
+                clients, Stat(cell["goodput"], 0.0, 1)
+            )
+            series["p50"][mode].set(
+                clients, Stat(cell["p50"], 0.0, cell["committed"])
+            )
+            series["p99"][mode].set(
+                clients, Stat(cell["p99"], 0.0, cell["committed"])
+            )
+            series["hit_ratio"][mode].set(
+                clients, Stat(cell["hit_ratio"], 0.0, 1)
+            )
+            series["shed_rate"][mode].set(
+                clients, Stat(cell["shed_rate"], 0.0, 1)
+            )
+            if clients == client_counts[-1]:
+                mode_notes.append(
+                    f"{mode} @ {clients} clients: p99 {cell['p99']:.2f} ms, "
+                    f"goodput {cell['goodput']:.0f} ops/s, hit ratio "
+                    f"{cell['hit_ratio']:.3f}, shed {cell['shed']} "
+                    f"({cell['shed_rate']:.3f}), dropped {cell['dropped']}, "
+                    "0 invariant violations"
+                )
+    config_note = (
+        f"Zipf(s={zipf_s}) over {population} users folded onto "
+        f"{key_space} profile rows, {num_servers} servers, "
+        f"{ops_per_client} ops/client (90/10 get/put), cache "
+        f"{cache_bytes}B, queue bound {queue_ms} ms, p99 budget "
+        f"{p99_budget_ms} ms, seed {seed}; closed loop, bounded "
+        "shed-retry backoff"
+    )
+    for r in results.values():
+        r.note(config_note)
+        for note in mode_notes:
+            r.note(note)
+    return results
+
+
+def serving_smoke(
+    clients: int = 1024,
+    ops_per_client: int = 4,
+    seed: int = 20170904,
+) -> dict[str, float | int]:
+    """CI smoke: one overloaded serving cell per mode; returns the
+    counters the job asserts on (shedding engaged, cache hit ratio
+    positive, shed p99 no worse than unshed p99, goodput within 10%,
+    zero invariant violations)."""
+    zipf = ZipfianPopulation()
+    cells = {
+        mode: _serving_cell(
+            clients, ops_per_client, mode, seed=seed, zipf=zipf
+        )
+        for mode in SERVING_MODES
+    }
+    return {
+        "clients": clients,
+        "committed_baseline": cells["baseline"]["committed"],
+        "committed_shed": cells["cache+shed"]["committed"],
+        "goodput_baseline": cells["baseline"]["goodput"],
+        "goodput_cache": cells["cache"]["goodput"],
+        "goodput_shed": cells["cache+shed"]["goodput"],
+        "p99_baseline": cells["baseline"]["p99"],
+        "p99_cache": cells["cache"]["p99"],
+        "p99_shed": cells["cache+shed"]["p99"],
+        "hit_ratio": cells["cache+shed"]["hit_ratio"],
+        "shed": cells["cache+shed"]["shed"],
+        "shed_rate": cells["cache+shed"]["shed_rate"],
+        "dropped": cells["cache+shed"]["dropped"],
+        "violations": sum(c["violations"] for c in cells.values()),
     }
 
 

@@ -197,6 +197,120 @@ DEFAULT_REPLICATION_CONFIG = ReplicationConfig()
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Serving-layer knobs: the region-server row cache and the
+    per-server admission controller with p99-targeted load shedding.
+
+    Everything defaults *off*: ``row_cache_bytes=0`` installs no cache
+    and ``admission_queue_ms=None`` installs no admission controller,
+    so every pre-existing code path — and therefore all 131 anchored
+    figure latencies — stays bit-identical."""
+
+    row_cache_bytes: int = 0
+    """Byte budget of the per-server LRU row cache. 0 disables the
+    cache entirely (no counters, no lookups, identical charges)."""
+
+    cache_hit_ms: float = 0.01
+    """Server-side cost of serving a point read out of the row cache —
+    replaces the ``seek_ms + read_row_ms`` store lookup on a hit."""
+
+    cache_entry_overhead_bytes: int = 64
+    """Fixed accounting overhead per cached entry (hash-map slot, key
+    copy, LRU links) added to the result payload when charging the
+    cache's byte budget."""
+
+    admission_queue_ms: float | None = None
+    """Bounded request queue, expressed as the longest virtual backlog
+    (ms of queued work) a server accepts before shedding an arriving
+    request. ``None`` disables admission control entirely."""
+
+    p99_budget_ms: float | None = None
+    """Adaptive shedding target: when the p99 of recently completed
+    requests on a server exceeds this budget, the effective queue bound
+    shrinks by ``p99 / budget`` until the tail comes back under it.
+    ``None`` leaves the queue bound static."""
+
+    p99_window: int = 128
+    """Completed-request latencies kept per server for the p99 estimate."""
+
+    p99_refresh_every: int = 16
+    """Completions between pressure re-estimates (keeps the estimator
+    off the per-request hot path; refresh cadence is deterministic)."""
+
+    qos_weights: tuple[tuple[str, float], ...] = ()
+    """Per-table QoS weights as ``(table_name, weight)`` pairs (tuple,
+    not dict, so the config stays hashable/frozen). A table with weight
+    w tolerates a backlog of ``w * admission_queue_ms`` before it is
+    shed — under pressure, low-weight (batch) tables shed first and
+    high-weight (interactive) tables shed last. Unlisted tables get
+    weight 1.0."""
+
+    shed_retry_after_ms: float = 2.0
+    """Retry-after hint carried by ``ServerOverloadedError``; clients
+    back off at least this long before re-offering a shed request."""
+
+    def __post_init__(self) -> None:
+        if self.row_cache_bytes < 0:
+            raise ClusterConfigError(
+                f"row_cache_bytes must be >= 0, got {self.row_cache_bytes}"
+            )
+        if self.cache_hit_ms < 0:
+            raise ClusterConfigError(
+                f"cache_hit_ms must be >= 0, got {self.cache_hit_ms}"
+            )
+        if self.cache_entry_overhead_bytes < 0:
+            raise ClusterConfigError(
+                f"cache_entry_overhead_bytes must be >= 0, got "
+                f"{self.cache_entry_overhead_bytes}"
+            )
+        if self.admission_queue_ms is not None and self.admission_queue_ms <= 0:
+            raise ClusterConfigError(
+                f"admission_queue_ms must be positive (or None to disable "
+                f"admission control), got {self.admission_queue_ms}"
+            )
+        if self.p99_budget_ms is not None and self.p99_budget_ms <= 0:
+            raise ClusterConfigError(
+                f"p99_budget_ms must be positive (or None to disable "
+                f"adaptive shedding), got {self.p99_budget_ms}"
+            )
+        if self.p99_budget_ms is not None and self.admission_queue_ms is None:
+            raise ClusterConfigError(
+                "p99_budget_ms requires admission_queue_ms (adaptive "
+                "shedding scales the queue bound)"
+            )
+        if self.p99_window < 1:
+            raise ClusterConfigError(
+                f"p99_window must be >= 1, got {self.p99_window}"
+            )
+        if self.p99_refresh_every < 1:
+            raise ClusterConfigError(
+                f"p99_refresh_every must be >= 1, got {self.p99_refresh_every}"
+            )
+        for pair in self.qos_weights:
+            if len(pair) != 2 or not pair[0] or pair[1] <= 0:
+                raise ClusterConfigError(
+                    f"qos_weights entries must be (table, positive weight) "
+                    f"pairs, got {pair!r}"
+                )
+        if self.shed_retry_after_ms < 0:
+            raise ClusterConfigError(
+                f"shed_retry_after_ms must be >= 0, got "
+                f"{self.shed_retry_after_ms}"
+            )
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.row_cache_bytes > 0
+
+    @property
+    def admission_enabled(self) -> bool:
+        return self.admission_queue_ms is not None
+
+
+DEFAULT_SERVING_CONFIG = ServingConfig()
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Shape of the simulated cluster (mirrors the paper's EC2 testbed)."""
 
@@ -224,6 +338,8 @@ class ClusterConfig:
     cost: CostModel = field(default_factory=CostModel)
 
     replication: ReplicationConfig = field(default_factory=ReplicationConfig)
+
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def __post_init__(self) -> None:
         if self.num_region_servers < 1:

@@ -65,6 +65,20 @@ class RegionRetriesExhaustedError(RegionUnavailableError):
     bounded give-up from a transient failure."""
 
 
+class ServerOverloadedError(RegionUnavailableError):
+    """Admission control shed this request: the target region server's
+    virtual backlog exceeded its (possibly pressure-shrunk) queue bound.
+    A subclass of :class:`RegionUnavailableError` so every existing
+    failover/retry path — ``HTable`` relocation, the chaos harness's
+    bounded backoff-and-retry — absorbs a shed exactly like a transient
+    region outage, while serving-aware clients can read
+    ``retry_after_ms`` and count sheds separately."""
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class ServerRecoveryError(HBaseError):
     """Master failover misuse: recovering a region server that is still
     alive, or one whose regions were already recovered. Both would

@@ -1,0 +1,129 @@
+"""Per-server admission control with p99-targeted adaptive shedding.
+
+Under the deterministic scheduler, every operation queues on its region
+server through ``ConcurrencyContext.serial_enter``, so a server's
+*virtual backlog* — how far its busy window extends past the arriving
+client's clock — is an exact measure of queue depth in milliseconds of
+work. The admission controller bounds that backlog:
+
+* **Bounded request queue.** A request arriving when the backlog
+  exceeds its bound is shed immediately with a typed, retryable
+  :class:`~repro.errors.ServerOverloadedError` — *before* the server's
+  busy window is touched, so a shed request consumes no server
+  capacity (the client burned only its own RPC).
+* **Per-table QoS weights.** A table with weight ``w`` tolerates
+  ``w * admission_queue_ms`` of backlog. Under pressure, low-weight
+  (batch) traffic is shed first; high-weight (interactive) traffic
+  sheds last.
+* **p99-targeted adaptation.** The controller keeps a sliding window
+  of completed-request latencies (queue wait + service, measured in
+  virtual time between admit and completion). Every
+  ``p99_refresh_every`` completions it re-estimates the window's p99;
+  when that exceeds ``p99_budget_ms`` the effective queue bound shrinks
+  by the overshoot ratio (``pressure``), shedding harder until the tail
+  returns to budget. All inputs are virtual-time quantities, so shed
+  decisions are bit-identical across reruns at the same seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from collections import deque
+
+from repro.config import ServingConfig
+from repro.errors import ServerOverloadedError
+
+
+def _percentile(samples, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); mirrors
+    ``repro.sim.scheduler.percentile`` without the import cycle."""
+    ordered = sorted(samples)
+    if not ordered:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class AdmissionController:
+    """Deterministic bounded-queue admission with adaptive shedding."""
+
+    __slots__ = (
+        "server_name",
+        "queue_bound_ms",
+        "p99_budget_ms",
+        "retry_after_ms",
+        "pressure",
+        "admitted",
+        "shed",
+        "shed_by_table",
+        "shed_log",
+        "_weights",
+        "_window",
+        "_refresh_every",
+        "_since_refresh",
+    )
+
+    def __init__(self, server_name: str, config: ServingConfig) -> None:
+        if config.admission_queue_ms is None:
+            raise ValueError("admission control is disabled in this config")
+        self.server_name = server_name
+        self.queue_bound_ms = config.admission_queue_ms
+        self.p99_budget_ms = config.p99_budget_ms
+        self.retry_after_ms = config.shed_retry_after_ms
+        self.pressure = 1.0
+        self.admitted = 0
+        self.shed = 0
+        self.shed_by_table: dict[str, int] = {}
+        self.shed_log: list[tuple[str, float, float, float]] | None = None
+        self._weights = dict(config.qos_weights)
+        self._window: deque[float] = deque(maxlen=config.p99_window)
+        self._refresh_every = config.p99_refresh_every
+        self._since_refresh = 0
+
+    def weight_for(self, table: str) -> float:
+        return self._weights.get(table, 1.0)
+
+    def bound_ms(self, table: str) -> float:
+        """Effective queue bound for one table at current pressure."""
+        return self.queue_bound_ms * self.weight_for(table) / self.pressure
+
+    def admit(self, table: str, now_ms: float, backlog_ms: float) -> float:
+        """Admit (returning the arrival timestamp as the completion
+        token) or shed with :class:`ServerOverloadedError`."""
+        bound = self.bound_ms(table)
+        if backlog_ms > bound:
+            self.shed += 1
+            self.shed_by_table[table] = self.shed_by_table.get(table, 0) + 1
+            if self.shed_log is not None:
+                self.shed_log.append((table, now_ms, backlog_ms, bound))
+            raise ServerOverloadedError(
+                f"server {self.server_name} shed {table!r} request: "
+                f"backlog {backlog_ms:.3f} ms > bound {bound:.3f} ms "
+                f"(pressure {self.pressure:.3f})",
+                retry_after_ms=self.retry_after_ms,
+            )
+        self.admitted += 1
+        return now_ms
+
+    def complete(self, token_ms: float, now_ms: float) -> None:
+        """Record one admitted request's virtual latency; periodically
+        re-estimate tail pressure when a p99 budget is configured."""
+        self._window.append(now_ms - token_ms)
+        if self.p99_budget_ms is None:
+            return
+        self._since_refresh += 1
+        if self._since_refresh >= self._refresh_every:
+            self._since_refresh = 0
+            p99 = _percentile(self._window, 0.99)
+            self.pressure = max(1.0, p99 / self.p99_budget_ms)
+
+    def stats(self) -> dict[str, int | float]:
+        offered = self.admitted + self.shed
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_rate": (self.shed / offered) if offered else 0.0,
+            "pressure": self.pressure,
+            "shed_by_table": dict(sorted(self.shed_by_table.items())),
+        }

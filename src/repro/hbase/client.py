@@ -133,13 +133,37 @@ class HTable:
         self.charge.rpc()  # meta lookup to refresh the location
 
     # -- scheduled-run routing ----------------------------------------------------------
-    def _enter_server(self, server):
+    def _enter_server(self, server, admission: bool = True):
         """Queue on the owning region server when a scheduler is
-        driving multiple clients; no-op (and no cost) otherwise."""
+        driving multiple clients; no-op (and no cost) otherwise.
+
+        When the server runs an admission controller, the request is
+        offered to it *before* it queues: a request arriving past the
+        queue bound is shed with a typed retryable
+        :class:`~repro.errors.ServerOverloadedError` without consuming
+        any server capacity. Returns ``(ctx, token)``; the token (the
+        admission timestamp) must be handed back to
+        :meth:`_exit_server` so the controller can observe the
+        request's completed latency for its p99 estimate."""
         ctx = self.cluster.sim.concurrency
+        token = None
         if ctx is not None:
-            ctx.serial_enter((server,), self.cluster.sim)
-        return ctx
+            sim = self.cluster.sim
+            if admission and server.admission is not None:
+                now = sim.clock.now_ms
+                token = server.admission.admit(
+                    self.name, now, ctx.backlog_ms(server, now)
+                )
+            ctx.serial_enter((server,), sim)
+        return ctx, token
+
+    def _exit_server(self, server, ctx, token) -> None:
+        """Settle one server window opened by :meth:`_enter_server`."""
+        if ctx is not None:
+            sim = self.cluster.sim
+            ctx.serial_exit((server,), sim)
+            if token is not None:
+                server.admission.complete(token, sim.clock.now_ms)
 
     def _routed(self, row: bytes, op_at):
         """Run ``op_at(region)`` against the located region, retrying
@@ -183,7 +207,11 @@ class HTable:
             return _FOLLOWER_MISS
         self.charge.rpc()
         server = follower.server
-        ctx = self._enter_server(server)
+        # no admission on the follower path: a shed would be raised
+        # before the try below and so escape instead of falling back to
+        # the primary — and bounding follower staleness, not follower
+        # load, is this path's contract
+        ctx, token = self._enter_server(server, admission=False)
         try:
             server.charge.seek()
             result = follower.region.read_row(
@@ -203,27 +231,23 @@ class HTable:
         except RegionUnavailableError:
             return _FOLLOWER_MISS
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     def _get_at(self, region: Region, op: Get) -> Result | None:
         # the round trip is charged before resolving the host: a stale
         # location still pays the wasted RPC that discovers it is stale
         self.charge.rpc()
         server = self.cluster.server_for(region)
-        ctx = self._enter_server(server)
+        ctx, token = self._enter_server(server)
         try:
-            server.charge.seek()
-            result = region.read_row(
-                op.row, op.columns, op.max_versions, op.time_range
+            result = server.serve_get(
+                region, op.row, op.columns, op.max_versions, op.time_range
             )
             if result is not None:
-                server.charge.rows_read(1)
                 self.charge.transfer(result.size_bytes)
             return result
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     def put(self, op: Put) -> None:
         self._routed(op.row, lambda region: self._put_at(region, op))
@@ -231,7 +255,7 @@ class HTable:
     def _put_at(self, region: Region, op: Put) -> None:
         self.charge.rpc()
         server = self.cluster.server_for(region)
-        ctx = self._enter_server(server)
+        ctx, token = self._enter_server(server)
         try:
             ts = self.cluster.next_timestamp()
             server.apply_put(region, op.row, op.cells, ts)
@@ -239,8 +263,7 @@ class HTable:
             if rep is not None:
                 rep.after_write(region)  # ack_mode="all": sync ship
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     def put_batch(self, ops: list[Put], _depth: int = 0) -> None:
         """Buffered multi-put: one RPC per addressed region, WAL batched.
@@ -291,7 +314,7 @@ class HTable:
             try:
                 self.charge.rpc()
                 server = self.cluster.server_for(region)
-                ctx = self._enter_server(server)
+                ctx, token = self._enter_server(server)
                 try:
                     server.charge.wal_append()  # one group sync per batch
                     first_ts = self.cluster.reserve_timestamps(len(puts))
@@ -300,8 +323,7 @@ class HTable:
                     if rep is not None:
                         rep.after_write(region)  # ack_mode="all"
                 finally:
-                    if ctx is not None:
-                        ctx.serial_exit((server,), self.cluster.sim)
+                    self._exit_server(server, ctx, token)
             except RegionUnavailableError:
                 # the group's region split (or failed over) under the
                 # batch: re-dispatch just these puts, regrouped against
@@ -315,7 +337,7 @@ class HTable:
     def _delete_at(self, region: Region, op: Delete) -> None:
         self.charge.rpc()
         server = self.cluster.server_for(region)
-        ctx = self._enter_server(server)
+        ctx, token = self._enter_server(server)
         try:
             ts = self.cluster.next_timestamp()
             server.apply_delete(region, op.row, op.columns, ts)
@@ -323,8 +345,7 @@ class HTable:
             if rep is not None:
                 rep.after_write(region)  # ack_mode="all": sync ship
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     def increment(self, op: Increment) -> int:
         """Atomic read-add-write on an 8-byte big-endian counter."""
@@ -333,7 +354,7 @@ class HTable:
     def _increment_at(self, region: Region, op: Increment) -> int:
         self.charge.rpc()
         server = self.cluster.server_for(region)
-        ctx = self._enter_server(server)
+        ctx, token = self._enter_server(server)
         try:
             server.charge.seek()
             result = region.read_row(op.row, [(op.family, op.qualifier)])
@@ -355,8 +376,7 @@ class HTable:
                 rep.after_write(region)  # ack_mode="all": sync ship
             return new_value
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     def check_and_put(
         self,
@@ -386,7 +406,7 @@ class HTable:
     ) -> bool:
         self.charge.check_and_put()
         server = self.cluster.server_for(region)
-        ctx = self._enter_server(server)
+        ctx, token = self._enter_server(server)
         try:
             # the read half of the RMW pays what a Get pays: a server-
             # side seek plus, when the row exists, row materialization
@@ -407,8 +427,7 @@ class HTable:
                 rep.after_write(region)  # ack_mode="all": sync ship
             return True
         finally:
-            if ctx is not None:
-                ctx.serial_exit((server,), self.cluster.sim)
+            self._exit_server(server, ctx, token)
 
     # -- scans -------------------------------------------------------------------------
     def scan(self, op: Scan | None = None) -> Iterator[Result]:
@@ -438,7 +457,6 @@ class HTable:
         charge_rpc = self.charge.rpc
         charge_transfer = self.charge.transfer
         size_bytes_of = Result.size_bytes.fget  # skip descriptor per row
-        sim = self.cluster.sim
         cursor = op.start_row  # next row key still to be examined
         stop_row = op.stop_row or None
         rep = self.cluster.replication if self.follower_reads else None
@@ -475,7 +493,7 @@ class HTable:
             else:
                 source = region
                 server = self.cluster.server_for(region)
-            ctx = self._enter_server(server)
+            ctx, token = self._enter_server(server)
             charge_rpc()  # open scanner on this region
             server.charge.seek()
             row_read = server.charge.row_read
@@ -526,8 +544,7 @@ class HTable:
                 if batch_rows:  # rows yielded so far were delivered
                     charge_rpc()
                     charge_transfer(batch_bytes)
-                if ctx is not None:
-                    ctx.serial_exit((server,), sim)
+                self._exit_server(server, ctx, token)
             if relocate or skip_follower:
                 continue
             if region.end_key is None or (

@@ -86,7 +86,8 @@ class HBaseCluster:
         self.sim = sim
         self.config = config
         self.servers: list[RegionServer] = [
-            RegionServer(f"rs{i + 1}", sim) for i in range(config.num_region_servers)
+            RegionServer(f"rs{i + 1}", sim, serving=config.serving)
+            for i in range(config.num_region_servers)
         ]
         self.tables: dict[str, TableDescriptor] = {}
         self._ts = 0
@@ -247,7 +248,7 @@ class HBaseCluster:
                     j += 1
                 name = f"rs{j}"
             existing.add(name)
-            server = RegionServer(name, self.sim)
+            server = RegionServer(name, self.sim, serving=self.config.serving)
             server.on_region_grown = self._auto_split
             self.servers.append(server)
             fresh.append(server)
@@ -666,6 +667,44 @@ class HBaseCluster:
 
     def table_row_count(self, name: str) -> int:
         return sum(r.row_count() for r in self.descriptor(name).regions)
+
+    def serving_stats(self) -> dict:
+        """Aggregate serving-layer counters across every server: row
+        cache hits/misses/evictions and admission/shedding totals. Pure
+        inspection (no charges, no RNG draws); all zeros — and an empty
+        per-server map — when the serving knobs are off."""
+        totals = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "cache_invalidations": 0,
+            "admitted": 0,
+            "shed": 0,
+        }
+        per_server: dict[str, dict] = {}
+        for server in self.servers:
+            entry: dict = {}
+            if server.row_cache is not None:
+                stats = server.row_cache.stats()
+                entry["cache"] = stats
+                totals["cache_hits"] += stats["hits"]
+                totals["cache_misses"] += stats["misses"]
+                totals["cache_evictions"] += stats["evictions"]
+                totals["cache_invalidations"] += stats["invalidations"]
+            if server.admission is not None:
+                stats = server.admission.stats()
+                entry["admission"] = stats
+                totals["admitted"] += stats["admitted"]
+                totals["shed"] += stats["shed"]
+            if entry:
+                per_server[server.name] = entry
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        totals["cache_hit_ratio"] = (
+            totals["cache_hits"] / lookups if lookups else 0.0
+        )
+        offered = totals["admitted"] + totals["shed"]
+        totals["shed_rate"] = totals["shed"] / offered if offered else 0.0
+        return {"totals": totals, "servers": per_server}
 
     def layout_fingerprint(self) -> dict:
         """Structural snapshot of the whole layout: per-table region

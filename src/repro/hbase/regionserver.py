@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+from repro.config import ServingConfig
 from repro.errors import HBaseError, RegionUnavailableError
+from repro.hbase.admission import AdmissionController
+from repro.hbase.cache import RowCache, missed
+from repro.hbase.cell import Result
 from repro.hbase.region import Region
 from repro.hbase.wal import WalEntry, WriteAheadLog
 from repro.sim.clock import Simulation
@@ -10,12 +14,35 @@ from repro.sim.latency import LatencyCharger
 
 
 class RegionServer:
-    """One simulated HBase RegionServer process."""
+    """One simulated HBase RegionServer process.
 
-    def __init__(self, name: str, sim: Simulation) -> None:
+    When a :class:`~repro.config.ServingConfig` enables them, the server
+    carries a byte-bounded LRU row cache (point reads skip the store
+    lookup on a hit) and an admission controller (arriving requests are
+    shed before they queue once the virtual backlog exceeds the —
+    possibly pressure-shrunk — bound). Both default off, leaving every
+    charge on every pre-existing path bit-identical."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulation,
+        serving: ServingConfig | None = None,
+    ) -> None:
         self.name = name
         self.sim = sim
         self.charge = LatencyCharger(sim, f"rs.{name}")
+        self.row_cache: RowCache | None = None
+        self.admission: AdmissionController | None = None
+        self._cache_hit_ms = 0.0
+        self._cache_hit_what = f"rs.{name}.cache_hit"
+        if serving is not None and serving.cache_enabled:
+            self.row_cache = RowCache(
+                serving.row_cache_bytes, serving.cache_entry_overhead_bytes
+            )
+            self._cache_hit_ms = serving.cache_hit_ms
+        if serving is not None and serving.admission_enabled:
+            self.admission = AdmissionController(name, serving)
         self.regions: dict[str, Region] = {}
         self.follower_regions: dict[str, Region] = {}
         """Follower replicas hosted here (``repro.hbase.replication``).
@@ -49,7 +76,49 @@ class RegionServer:
         self.regions[region.name] = region
 
     def unhost(self, region_name: str) -> Region:
+        if self.row_cache is not None:
+            # the region is leaving this process (move / split retiring
+            # the parent / recovery): its entries can never be read here
+            # again, and must not alias a future re-host
+            self.row_cache.invalidate_region(region_name)
         return self.regions.pop(region_name)
+
+    # -- reads -------------------------------------------------------------------------
+    def serve_get(
+        self,
+        region: Region,
+        row: bytes,
+        columns: list[tuple[bytes, bytes]] | None = None,
+        max_versions: int = 1,
+        time_range: tuple[int, int] | None = None,
+    ) -> Result | None:
+        """Point read through the (optional) row cache.
+
+        Uncached — and for every multi-version or time-ranged read,
+        which bypasses the cache because a compaction could change its
+        answer — this charges exactly the pre-cache path: one store
+        seek, plus one row materialization when the row exists. A hit
+        charges ``cache_hit_ms`` instead and touches the store not at
+        all."""
+        cache = self.row_cache
+        if cache is None or max_versions != 1 or time_range is not None:
+            self.charge.seek()
+            result = region.read_row(row, columns, max_versions, time_range)
+            if result is not None:
+                self.charge.rows_read(1)
+            return result
+        region._check_online()  # a cached row must not outlive its region
+        variant = RowCache.variant(columns)
+        cached = cache.lookup(region.name, row, variant)
+        if not missed(cached):
+            self.sim.charge(self._cache_hit_ms, self._cache_hit_what)
+            return cached
+        self.charge.seek()
+        result = region.read_row(row, columns, max_versions, time_range)
+        if result is not None:
+            self.charge.rows_read(1)
+        cache.insert(region.name, row, variant, result)
+        return result
 
     # -- mutations (all WAL-first) ---------------------------------------------------
     def apply_put(
@@ -61,6 +130,8 @@ class RegionServer:
         charge_wal: bool = True,
     ) -> None:
         self._check_alive()
+        if self.row_cache is not None:
+            self.row_cache.invalidate_row(region.name, row)
         self.wal.append(WalEntry(region.name, "put", row, list(cells), ts))
         if charge_wal:
             self.charge.wal_append()
@@ -84,6 +155,10 @@ class RegionServer:
         the loop."""
         self._check_alive()
         region._check_online()  # single-threaded: cannot flip mid-batch
+        if self.row_cache is not None:
+            cache_invalidate = self.row_cache.invalidate_row
+            for op in puts:
+                cache_invalidate(region.name, op.row)
         wal = self.wal
         wal_buffer_append = wal.buffer_for(region.name).append
         wal.total_appends += len(puts)  # accounted up front for the batch
@@ -152,6 +227,8 @@ class RegionServer:
         ts: int,
     ) -> None:
         self._check_alive()
+        if self.row_cache is not None:
+            self.row_cache.invalidate_row(region.name, row)
         self.wal.append(WalEntry(region.name, "delete", row, columns, ts))
         self.charge.wal_append()
         region.delete_row(row, columns, ts)
@@ -180,6 +257,8 @@ class RegionServer:
         """Lose all memstores; HFiles (on 'HDFS') and the WAL survive."""
         self.alive = False
         self.recovered = False
+        if self.row_cache is not None:
+            self.row_cache.clear()  # cache memory dies with the process
         for region in self.regions.values():
             region.online = False
         for region in self.follower_regions.values():
@@ -198,6 +277,8 @@ class RegionServer:
         self.regions = {}
         self.follower_regions = {}
         self.wal.clear()
+        if self.row_cache is not None:
+            self.row_cache.clear()
         self.alive = True
         self.recovered = False
 

@@ -14,6 +14,7 @@ from repro.tpcw.queries import JOIN_QUERIES, join_query
 from repro.tpcw.writes import WRITE_STATEMENTS, write_statement
 from repro.tpcw.workload import tpcw_workload
 from repro.tpcw.generator import TpcwDataGenerator
+from repro.tpcw.serving import ServingWorkload, ZipfianPopulation, fold_rank
 from repro.tpcw.microbench import (
     MICRO_ROOTS,
     MicrobenchDataGenerator,
@@ -25,9 +26,12 @@ __all__ = [
     "JOIN_QUERIES",
     "MICRO_ROOTS",
     "MicrobenchDataGenerator",
+    "ServingWorkload",
     "TPCW_ROOTS",
     "TpcwDataGenerator",
     "WRITE_STATEMENTS",
+    "ZipfianPopulation",
+    "fold_rank",
     "join_query",
     "micro_schema",
     "micro_workload",
