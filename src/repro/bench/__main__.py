@@ -10,7 +10,10 @@ as the comparison baseline and reports wall-clock speedups against it.
 ``--only a,b,c`` restricts the run to a subset of experiments
 (``table1, fig10, fig11, fig12, fig13, fig14, table2, table3,
 storage, concurrency, scaleout, faults, replication,
-orchestration, query, serving``) — handy for quick perf checks.
+orchestration, query, serving, federation``) — handy for quick perf
+checks. An unknown or empty selection exits nonzero with the valid
+list, and a suite-specific flag combined with an ``--only`` that does
+not select its suite is rejected instead of silently ignored.
 
 ``--only concurrency --emit-json`` (likewise ``scaleout``, ``faults``,
 ``replication``, ``orchestration`` and ``query``) emits a fully deterministic
@@ -35,6 +38,7 @@ import time
 from repro.bench.experiments import (
     run_concurrency,
     run_faults,
+    run_federation,
     run_fig10,
     run_fig11,
     run_fig12,
@@ -55,8 +59,42 @@ from repro.bench.tpcw_lab import TpcwLab
 ALL_EXPERIMENTS = (
     "table1", "fig13", "storage", "fig10", "fig11", "fig12", "fig14",
     "table2", "table3", "concurrency", "scaleout", "faults", "replication",
-    "orchestration", "query", "serving",
+    "orchestration", "query", "serving", "federation",
 )
+
+#: Suite-specific flags (argparse dest -> suite). A non-default value
+#: for one of these combined with an explicit ``--only`` that does NOT
+#: select its suite is a contradiction: the flag would be silently
+#: ignored, so the CLI refuses it instead.
+SUITE_FLAGS = {
+    "micro_scales": "fig10",
+    "storage_rows": "storage",
+    "clients": "concurrency",
+    "concurrency_txns": "concurrency",
+    "concurrency_scale": "concurrency",
+    "servers": "scaleout",
+    "scaleout_clients": "scaleout",
+    "scaleout_ops": "scaleout",
+    "crash_cycles": "faults",
+    "faults_clients": "faults",
+    "faults_ops": "faults",
+    "replicas": "replication",
+    "replication_cycles": "replication",
+    "replication_clients": "replication",
+    "replication_ops": "replication",
+    "orchestration_cycles": "orchestration",
+    "orchestration_clients": "orchestration",
+    "orchestration_ops": "orchestration",
+    "serving_clients": "serving",
+    "serving_ops": "serving",
+    "serving_population": "serving",
+    "serving_zipf_s": "serving",
+    "query_scale": "query",
+    "query_reps": "query",
+    "federation_scale": "federation",
+    "federation_reps": "federation",
+    "federation_clients": "federation",
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -134,6 +172,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--query-reps", type=int, default=5,
                         help="repetitions per query in the query-engine "
                              "experiment")
+    parser.add_argument("--federation-scale", type=int, default=30,
+                        help="TPC-W customers for the federation "
+                             "experiment")
+    parser.add_argument("--federation-reps", type=int, default=4,
+                        help="repetitions per query in the federation "
+                             "experiment")
+    parser.add_argument("--federation-clients", type=int, default=4,
+                        help="virtual clients in the federated "
+                             "scheduled write mix")
     parser.add_argument("--only", type=str, default=None,
                         help="comma-separated subset of experiments to run: "
                              + ",".join(ALL_EXPERIMENTS))
@@ -158,7 +205,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     unknown = selected - set(ALL_EXPERIMENTS)
     if unknown:
-        parser.error(f"unknown experiments: {sorted(unknown)}")
+        parser.error(
+            f"unknown experiments: {sorted(unknown)} "
+            f"(valid: {', '.join(ALL_EXPERIMENTS)})"
+        )
+    if not selected:
+        parser.error(
+            "--only selected no experiments "
+            f"(valid: {', '.join(ALL_EXPERIMENTS)})"
+        )
+    if args.only is not None:
+        contradictory = sorted(
+            f"--{dest.replace('_', '-')} (belongs to {suite!r})"
+            for dest, suite in SUITE_FLAGS.items()
+            if suite not in selected
+            and getattr(args, dest) != parser.get_default(dest)
+        )
+        if contradictory:
+            parser.error(
+                "flags for experiments not selected by --only would be "
+                "silently ignored: " + ", ".join(contradictory)
+            )
     baseline = None
     if args.baseline_json:
         # fail before the (potentially long) run, not after it
@@ -309,6 +376,17 @@ def main(argv: list[str] | None = None) -> int:
             progress=say,
         ).values():
             record(r)
+    if "federation" in selected:
+        # routed vs pinned single-system execution: virtual-time series
+        # only, never wall-clock timed, so the emitted JSON is
+        # byte-identical across runs; any routed/pinned row divergence
+        # aborts the run
+        record(run_federation(
+            num_customers=args.federation_scale,
+            repetitions=args.federation_reps,
+            clients=args.federation_clients,
+            progress=say,
+        ))
     if "query" in selected:
         # engine comparison: virtual-time series only, never wall-clock
         # timed, so the emitted JSON is byte-identical across runs; the

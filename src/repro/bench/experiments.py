@@ -1876,3 +1876,233 @@ def query_smoke(
         cells["streaming"]["limited_wall_s"] < legacy["limited_wall_s"]
     )
     return out
+
+
+# ------------------------------------------------------------ federation
+#: Routing modes swept by the Federation experiment. The pinned modes
+#: run the identical mediator code path restricted to one backend in
+#: whole-statement mode — the single-system baseline the routed modes
+#: are compared against (and must match row for row).
+FEDERATION_MODES = ("routed-auto", "routed-split", "pin-Synergy", "pin-VoltDB")
+
+#: Identifying columns per query, shared by every backend's result
+#: shape. Q10 compares on i_id only: the aggregate's *name* differs
+#: between view-rewritten and base-table plans (``SUM(v0.ol_qty)`` vs
+#: ``SUM(ol.ol_qty)``) even though its value is identical. Q11 compares
+#: the sorted aggregate *scores*: its ``ORDER BY SUM(..) DESC LIMIT 5``
+#: can tie at the rank-5 boundary, where engines legitimately pick
+#: different tie members — the score multiset is the invariant.
+FEDERATION_QUERY_KEYS = {
+    "Q1": ("ol_o_id", "ol_id", "i_id"),
+    "Q2": ("o_id", "c_id"),
+    "Q3": ("c_id", "addr_id", "co_id"),
+    "Q4": ("i_id", "a_id"),
+    "Q5": ("i_id", "a_id"),
+    "Q6": ("i_id", "a_id"),
+    "Q7": ("o_id", "c_id"),
+    "Q8": ("scl_sc_id", "scl_i_id", "i_id"),
+    "Q9": ("i_id",),
+    "Q10": ("i_id",),
+    "Q11": None,  # tie-prone top-5: compare aggregate scores
+}
+
+
+def _federation_canonical(qid: str, rows: list[dict]) -> list[tuple]:
+    keys = FEDERATION_QUERY_KEYS[qid]
+    if keys is None:
+        return sorted(
+            (v,)
+            for r in rows
+            for k, v in r.items()
+            if k.startswith("SUM(")
+        )
+    return sorted(tuple(r.get(k) for k in keys) for r in rows)
+
+
+def _federation_backends(lab: TpcwLab, progress=None) -> dict:
+    say = progress or (lambda _msg: None)
+    backends = {}
+    for name in SYSTEM_NAMES:
+        say(f"[federation] populating {name}")
+        system = lab.build_system(name)
+        lab.populate(system)
+        backends[name] = system
+    return backends
+
+
+def _federation_mediator(mode: str, backends: dict, lab: TpcwLab, seed: int):
+    from repro.federation import Mediator
+
+    if mode == "routed-auto":
+        return Mediator(backends, lab.schema, lab.workload, seed=seed, mode="auto")
+    if mode == "routed-split":
+        return Mediator(backends, lab.schema, lab.workload, seed=seed, mode="split")
+    assert mode.startswith("pin-"), mode
+    return Mediator(
+        backends, lab.schema, lab.workload, seed=seed,
+        mode="whole", pin=mode[len("pin-"):],
+    )
+
+
+def _federation_battery(mediator, lab: TpcwLab, repetitions: int):
+    """(virtual times per qid, rep-0 canonical digests) for every query
+    the mediator supports under its routing mode."""
+    times: dict[str, list[float]] = {}
+    digests: dict[str, list[tuple]] = {}
+    for rep in range(repetitions):
+        for qid in JOIN_QUERIES:
+            if not mediator.supports(qid):
+                continue
+            params = lab.generator.params_for_query(qid, rep)
+            rows, ms = mediator.timed_id(qid, params)
+            times.setdefault(qid, []).append(ms)
+            if rep == 0:
+                digests[qid] = _federation_canonical(qid, rows)
+    return times, digests
+
+
+def _federation_schedule(mediator, clients: int, txns_per_client: int):
+    """A multi-client federated write/read mix over DISJOINT key slices
+    (client i owns item/customer/cart i+1), driven through the
+    deterministic scheduler with one FederatedSession per client. Writes
+    broadcast to every backend, so the backends stay convergent."""
+    scheduler = DeterministicScheduler(mediator.sim)
+    for c in range(clients):
+        session = mediator.open_session(f"c{c}")
+        i_id, c_id, sc_id = c + 1, c + 1, c + 1
+        txns = []
+        for t in range(txns_per_client):
+            stamp = 1000 * (c + 1) + t
+            txns.append([
+                ("SELECT * FROM Item WHERE i_id = ?", (i_id,)),
+                (WRITE_STATEMENTS["W9"], (stamp, i_id)),
+            ])
+            txns.append([
+                (WRITE_STATEMENTS["W13"],
+                 (float(stamp), float(stamp) / 2, float(t), c_id)),
+            ])
+            txns.append([(WRITE_STATEMENTS["W11"], (float(stamp), sc_id))])
+
+        def program(client, session=session, txns=txns):
+            for txn in txns:
+                yield from run_transaction(client, session, txn)
+
+        scheduler.add_client(f"c{c}", program)
+    return scheduler.run()
+
+
+def run_federation(
+    num_customers: int = 30,
+    repetitions: int = 4,
+    seed: int = 171001792,
+    clients: int = 4,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentResult:
+    """Routed vs pinned-single-system execution through the federation
+    mediator ("Federation" — deliberately NOT an anchored experiment).
+
+    One set of populated backends is shared by every mode: the query
+    battery is read-only, so routed results must match the pinned
+    references row for row (asserted here, not just noted). All series
+    are virtual-time only, so two runs with the same seed produce
+    byte-identical JSON. A scheduled multi-client write mix runs last —
+    it mutates the shared backends through broadcast writes."""
+    say = progress or (lambda _msg: None)
+    lab = TpcwLab(num_customers=num_customers, repetitions=repetitions, seed=seed)
+    backends = _federation_backends(lab, progress)
+
+    result = ExperimentResult(
+        "Federation",
+        "Federated routing vs pinned single-system execution",
+        "query",
+    )
+    result.x_values = list(JOIN_QUERIES)
+    digests: dict[str, dict] = {}
+    for mode in FEDERATION_MODES:
+        say(f"[federation] battery mode={mode}")
+        mediator = _federation_mediator(mode, backends, lab, seed)
+        times, digests[mode] = _federation_battery(mediator, lab, repetitions)
+        series = result.add_series(mode)
+        for qid in JOIN_QUERIES:
+            series.set(qid, summarize(times[qid]) if qid in times else None)
+        routed = {}
+        for record in mediator.route_log:
+            for a in record.assignments:
+                routed[a["backend"]] = routed.get(a["backend"], 0) + 1
+        reroutes = sum(
+            1 for d in mediator.advisor.decision_log if d.rerouted
+        )
+        result.note(
+            f"{mode}: {len(times)}/{len(JOIN_QUERIES)} queries, "
+            f"sub-plans per backend {routed}, "
+            f"{reroutes} advisor decisions used the observed EWMA"
+        )
+
+    reference = digests["pin-Synergy"]
+    for mode, battery in digests.items():
+        for qid, rows in battery.items():
+            if qid not in reference:
+                continue
+            if rows != reference[qid]:
+                raise AssertionError(
+                    f"federation: {mode} disagrees with pin-Synergy on {qid}"
+                )
+    result.note(
+        "row parity: every routed result matches the pinned Synergy "
+        "reference row for row (asserted)"
+    )
+
+    say(f"[federation] scheduled mix: {clients} clients")
+    mediator = _federation_mediator("routed-auto", backends, lab, seed)
+    report = _federation_schedule(mediator, clients, txns_per_client=3)
+    result.note(
+        f"scheduled mix: {clients} clients, {report.committed} transactions "
+        f"committed in {report.steps} interleaved steps, "
+        f"{len(mediator.route_log)} routed statements"
+    )
+    return result
+
+
+def federation_smoke(
+    num_customers: int = 25,
+    repetitions: int = 4,
+    seed: int = 171001792,
+) -> dict:
+    """CI smoke: routed-vs-pinned row parity, genuine multi-backend
+    statement spread under split routing, and byte-identical advisor
+    decision logs across two independently built runs."""
+    import json as _json
+
+    def one_run():
+        lab = TpcwLab(
+            num_customers=num_customers, repetitions=repetitions, seed=seed
+        )
+        backends = _federation_backends(lab)
+        mediator = _federation_mediator("routed-split", backends, lab, seed)
+        times, digests = _federation_battery(mediator, lab, repetitions)
+        pinned = _federation_mediator("pin-Synergy", backends, lab, seed)
+        _, reference = _federation_battery(pinned, lab, repetitions=1)
+        return lab, backends, mediator, digests, reference
+
+    _, _, mediator, digests, reference = one_run()
+    out: dict = {"queries": len(JOIN_QUERIES)}
+    out["rows_match[routed-split]"] = sum(
+        1 for qid, rows in digests.items() if rows == reference.get(qid)
+    )
+    used: dict[str, set] = {}
+    for record in mediator.route_log:
+        for a in record.assignments:
+            used.setdefault(record.statement_id, set()).add(a["backend"])
+    out["statements_spanning_2_backends"] = sum(
+        1 for backends_used in used.values() if len(backends_used) >= 2
+    )
+    out["decisions"] = len(mediator.advisor.decision_log)
+    out["reroutes"] = sum(
+        1 for d in mediator.advisor.decision_log if d.rerouted
+    )
+
+    _, _, mediator2, _, _ = one_run()
+    log_a = _json.dumps(mediator.advisor.log_dicts(), sort_keys=True)
+    log_b = _json.dumps(mediator2.advisor.log_dicts(), sort_keys=True)
+    out["decision_log_deterministic"] = log_a == log_b
+    return out

@@ -1,0 +1,23 @@
+"""Cross-system federation: a mediator routing workload statements
+across the evaluated systems, with an online routing advisor."""
+
+from repro.federation.advisor import RouteDecision, RoutingAdvisor
+from repro.federation.mediator import (
+    FederatedSession,
+    FederationError,
+    FederationWriteHazardError,
+    Mediator,
+    RouteRecord,
+    build_mediator,
+)
+
+__all__ = [
+    "FederatedSession",
+    "FederationError",
+    "FederationWriteHazardError",
+    "Mediator",
+    "RouteDecision",
+    "RouteRecord",
+    "RoutingAdvisor",
+    "build_mediator",
+]

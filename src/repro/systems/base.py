@@ -29,6 +29,13 @@ class SystemSession:
     execution resources (VoltDB) override this.
     """
 
+    rolls_back_on_abort = False
+    """Whether ``abort()`` genuinely undoes writes executed since
+    ``begin()``. False for auto-commit sessions, where every write has
+    already applied by the time ``abort`` is called — callers that
+    retry aborted transactions (the federation mediator, chiefly) must
+    not re-execute writes against a session that reports False here."""
+
     def __init__(self, system: "EvaluatedSystem", client_name: str = "client") -> None:
         self.system = system
         self.client_name = client_name
@@ -77,7 +84,24 @@ class EvaluatedSystem(abc.ABC):
     @abc.abstractmethod
     def db_size_bytes(self) -> int: ...
 
+    def register_statement(self, statement_id: str, sql: str) -> None:
+        """Register an ad-hoc statement under an id. Subclasses with a
+        statement registry override this; the base implementation
+        refuses so callers cannot silently lose statements."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not accept ad-hoc statements"
+        )
+
     def supports(self, statement_id: str) -> bool:
+        """Whether this system can execute the workload statement.
+
+        Truthful by construction: an id the system has never registered
+        is *not* supported (the old default claimed ``True`` for every
+        string, which broke any router trusting the contract)."""
+        try:
+            self.statement(statement_id)
+        except KeyError:
+            return False
         return True
 
     def open_session(self, client_name: str = "client") -> SystemSession:

@@ -54,6 +54,8 @@ class MvccSession(SystemSession):
 
     system: "MvccSystemBase"
 
+    rolls_back_on_abort = True  # buffered intents are discarded on abort
+
     def __init__(self, system: "MvccSystemBase", client_name: str = "client") -> None:
         super().__init__(system, client_name)
         self.tx: MvccTransaction | None = None

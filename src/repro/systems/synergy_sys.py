@@ -44,6 +44,12 @@ class SynergyEvaluatedSystem(EvaluatedSystem):
     def statement(self, statement_id: str) -> str:
         return self.system.statements[statement_id]
 
+    def register_statement(self, statement_id: str, sql: str) -> None:
+        # ad-hoc statements skip the view-rewrite pipeline (that runs at
+        # construction over the declared workload) and execute over base
+        # tables — correct, just not view-accelerated
+        self.system.statements[statement_id] = sql
+
     def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
         return self.system.execute(sql, params)
 

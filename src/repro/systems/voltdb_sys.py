@@ -15,7 +15,7 @@ from repro.relational.schema import Schema
 from repro.relational.workload import Workload
 from repro.sim.clock import Simulation
 from repro.sql.analyzer import analyze_select
-from repro.sql.ast import Select
+from repro.sql.ast import ColumnRef, Delete, Insert, Literal, Param, Select, Update
 from repro.sql.parser import parse_statement
 from repro.systems.base import EvaluatedSystem, SystemDescription, SystemSession
 from repro.voltdb.system import PartitionScheme, TPCW_SCHEMES, VoltDBSystem
@@ -109,8 +109,46 @@ class VoltDBEvaluatedSystem(EvaluatedSystem):
                 continue
         return None
 
+    def register_statement(self, statement_id: str, sql: str) -> None:
+        self._statements[statement_id] = sql
+
     def supports(self, statement_id: str) -> bool:
-        return self.scheme_for(self._statements[statement_id]) is not None
+        sql = self._statements.get(statement_id)
+        if sql is None:
+            return False
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, Select):
+            # scheme_for admits every write under the primary scheme, but
+            # the procedure layer can only route writes that bind the full
+            # primary key with equality — claiming support for anything
+            # else fails at execute() with UnsupportedStatementError
+            return self._write_supported(stmt)
+        return self.scheme_for(sql, stmt=stmt) is not None
+
+    def _write_supported(self, stmt: Any) -> bool:
+        """Static mirror of the engine's write routing rules: inserts
+        must provide the full key; updates/deletes must bind every key
+        attribute with ``= constant`` conjuncts."""
+        table = self.engine.tables.get(stmt.table)
+        if table is None:
+            return False
+        if isinstance(stmt, Insert):
+            columns = stmt.columns or table.relation.attribute_names
+            return all(a in columns for a in table.key_attrs)
+        if not isinstance(stmt, (Update, Delete)):
+            return False
+        bound: set[str] = set()
+        for cond in stmt.where:
+            col = cond.left if isinstance(cond.left, ColumnRef) else cond.right
+            val = cond.right if isinstance(cond.left, ColumnRef) else cond.left
+            if (
+                not isinstance(col, ColumnRef)
+                or cond.op != "="
+                or not isinstance(val, (Literal, Param))
+            ):
+                return False
+            bound.add(col.name)
+        return all(a in bound for a in table.key_attrs)
 
     def execute(self, sql: str, params: tuple[Any, ...] = ()) -> Any:
         scheme = self.scheme_for(sql)

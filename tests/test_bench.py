@@ -83,3 +83,59 @@ class TestFastExperiments:
     def test_table1_static(self):
         text = run_table1()
         assert "read committed" in text
+
+
+class TestCliErrors:
+    """The bench CLI must refuse nonsense loudly, not run nothing or
+    silently drop flags."""
+
+    def _error(self, argv):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        return exc
+
+    def test_unknown_suite_exits_nonzero_listing_valid(self, capsys):
+        self._error(["--only", "nosuchsuite"])
+        err = capsys.readouterr().err
+        assert "unknown experiments" in err
+        assert "nosuchsuite" in err
+        # the valid suites are listed so the caller can self-correct
+        for suite in ("query", "federation", "concurrency"):
+            assert suite in err
+
+    def test_empty_selection_exits_nonzero(self, capsys):
+        self._error(["--only", " , "])
+        err = capsys.readouterr().err
+        assert "no experiments" in err
+        assert "federation" in err
+
+    def test_suite_flag_with_other_only_is_rejected(self, capsys):
+        self._error(["--only", "query", "--federation-scale", "99"])
+        err = capsys.readouterr().err
+        assert "--federation-scale" in err
+        assert "federation" in err
+
+    def test_multiple_contradictory_flags_all_reported(self, capsys):
+        self._error([
+            "--only", "table1",
+            "--query-reps", "9", "--serving-ops", "1",
+        ])
+        err = capsys.readouterr().err
+        assert "--query-reps" in err
+        assert "--serving-ops" in err
+
+    def test_suite_flag_with_matching_only_is_accepted(self, capsys):
+        # table1 is static; adding its own suite's flag must not error
+        from repro.bench.__main__ import main
+
+        assert main(["--only", "table1", "--quiet"]) == 0
+        capsys.readouterr()
+
+    def test_default_flags_with_only_are_fine(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--only", "fig13", "--quiet"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,405 @@
+"""Federation mediator suite.
+
+The mediator fronts all five evaluated systems at once; these tests pin
+the three properties the bench's federation sweep relies on:
+
+* **row equivalence** — a statement routed through the mediator (whole
+  to one backend, or split into per-binding fragments merged through
+  the streaming operators) returns exactly the rows a single system
+  returns, including the VoltDB-unsupported joins that only execute
+  federated via split;
+* **determinism** — two mediators built from the same seed produce
+  byte-identical routing decision logs and route records;
+* **write safety** — writes broadcast to every supporting backend (so
+  the backends stay convergent), and the session retry path refuses to
+  re-execute a write that may already have applied on a backend whose
+  sessions cannot roll back.
+
+Seed 7 is shared with the equivalence suite: all engines agree on the
+tie-prone Q11 top-5 there, so full-row canonicalization is safe.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.tpcw_lab import SYSTEM_NAMES, TpcwLab
+from repro.errors import ReproError, TransactionError
+from repro.federation import (
+    FederationError,
+    FederationWriteHazardError,
+    RoutingAdvisor,
+    build_mediator,
+)
+from repro.sim.scheduler import DeterministicScheduler, run_transaction
+from repro.tpcw.queries import JOIN_QUERIES, VOLTDB_UNSUPPORTED
+from repro.tpcw.writes import WRITE_STATEMENTS
+
+SCALE = 25
+SEED = 7
+
+QUERY_KEYS = {
+    "Q1": ("ol_o_id", "ol_id", "i_id"),
+    "Q2": ("o_id", "c_id"),
+    "Q3": ("c_id", "addr_id", "co_id"),
+    "Q4": ("i_id", "a_id"),
+    "Q5": ("i_id", "a_id"),
+    "Q6": ("i_id", "a_id"),
+    "Q7": ("o_id", "c_id"),
+    "Q8": ("scl_sc_id", "scl_i_id", "i_id"),
+    "Q9": ("i_id",),
+    "Q10": ("i_id",),  # aggregate naming differs per view rewrite
+    "Q11": ("ol_i_id",),
+}
+
+
+def canonical(qid: str, rows):
+    return sorted(tuple(r.get(k) for k in QUERY_KEYS[qid]) for r in rows)
+
+
+def query_battery(system, lab, reps=(0, 1)):
+    out = {}
+    for qid in JOIN_QUERIES:
+        if not system.supports(qid):
+            continue
+        for rep in reps:
+            params = lab.generator.params_for_query(qid, rep)
+            rows = system.execute(system.statement(qid), params)
+            out[(qid, rep)] = canonical(qid, rows)
+    return out
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return TpcwLab(num_customers=SCALE, repetitions=2, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def backends(lab):
+    out = {}
+    for name in SYSTEM_NAMES:
+        system = lab.build_system(name)
+        lab.populate(system)
+        out[name] = system
+    return out
+
+
+@pytest.fixture(scope="module")
+def mediator(lab, backends):
+    return build_mediator(backends, lab.schema, lab.workload, seed=SEED)
+
+
+def small_federation(names, num_customers=10):
+    """A fresh small lab plus a mediator over just ``names`` — for
+    tests that mutate state and must not disturb the module fixtures."""
+    lab = TpcwLab(num_customers=num_customers, repetitions=1, seed=SEED)
+    systems = {}
+    for name in names:
+        system = lab.build_system(name)
+        lab.populate(system)
+        systems[name] = system
+    mediator = build_mediator(systems, lab.schema, lab.workload, seed=SEED)
+    return lab, systems, mediator
+
+
+# --------------------------------------------------------------- routing
+class TestRoutedQueries:
+    def test_mediator_supports_every_workload_statement(self, mediator):
+        for sid in list(JOIN_QUERIES) + list(WRITE_STATEMENTS):
+            assert mediator.supports(sid), sid
+
+    def test_routed_battery_matches_single_system(
+        self, mediator, backends, lab
+    ):
+        """Auto-routed execution is row-for-row identical to a pinned
+        single system, for all 11 queries — including the four VoltDB
+        cannot run whole."""
+        routed = query_battery(mediator, lab)
+        reference = query_battery(backends["Synergy"], lab)
+        assert set(routed) == set(reference)
+        for key in reference:
+            assert routed[key] == reference[key], (
+                f"mediator disagrees with Synergy on {key}"
+            )
+
+    def test_split_battery_matches_single_system(self, backends, lab):
+        """Forcing decomposition: every multi-binding query splits into
+        per-binding fragments, possibly on different backends, and the
+        streaming merge reproduces the single-system rows."""
+        split = build_mediator(
+            backends, lab.schema, lab.workload, seed=SEED, mode="split"
+        )
+        battery = query_battery(split, lab)
+        reference = query_battery(backends["Synergy"], lab)
+        assert battery == reference
+        split_qids = {
+            rec.statement_id for rec in split.route_log if rec.mode == "split"
+        }
+        assert set(JOIN_QUERIES) <= split_qids
+
+    def test_route_log_records_every_statement(self, mediator):
+        assert mediator.route_log
+        for rec in mediator.route_log:
+            assert rec.mode in ("whole", "split", "broadcast")
+            assert rec.assignments
+            for a in rec.assignments:
+                assert a["backend"] in mediator.backends
+            d = rec.to_dict()  # JSON-friendly
+            json.dumps(d)
+
+    def test_voltdb_unsupported_join_runs_federated(self, backends, lab):
+        """Pinned to VoltDB the paper's 3-way joins are unsupported in
+        whole mode; unpinned, the mediator still answers them (whole on
+        a Phoenix backend, or split across fragments VoltDB can serve)."""
+        pinned = build_mediator(
+            backends, lab.schema, lab.workload,
+            seed=SEED, mode="whole", pin="VoltDB",
+        )
+        for qid in VOLTDB_UNSUPPORTED:
+            assert not pinned.supports(qid)
+            with pytest.raises(FederationError):
+                pinned.execute(pinned.statement(qid),
+                               lab.generator.params_for_query(qid, 0))
+
+    def test_pin_restricts_every_route(self, backends, lab):
+        pinned = build_mediator(
+            backends, lab.schema, lab.workload,
+            seed=SEED, mode="whole", pin="MVCC-A",
+        )
+        battery = query_battery(pinned, lab)
+        assert battery == query_battery(backends["MVCC-A"], lab)
+        assert pinned.route_log
+        for rec in pinned.route_log:
+            assert all(a["backend"] == "MVCC-A" for a in rec.assignments)
+
+
+# --------------------------------------------------------------- advisor
+class TestRoutingAdvisor:
+    def test_estimate_wins_until_enough_observations(self):
+        advisor = RoutingAdvisor(seed=SEED, min_observations=3)
+        advisor.observe("Q1", "A", 50.0)
+        advisor.observe("Q1", "A", 50.0)
+        cost, overridden = advisor.advised_cost("Q1", "A", 1.0)
+        assert (cost, overridden) == (1.0, False)
+
+    def test_diverged_ewma_overrides_and_reroutes(self):
+        """A backend whose observed latency diverges from its estimate
+        loses the route to the runner-up once the EWMA is trusted."""
+        advisor = RoutingAdvisor(seed=SEED, min_observations=3, divergence=2.0)
+        candidates = [("A", 1.0), ("B", 5.0)]
+        for _ in range(3):
+            assert advisor.choose("Q1", candidates, 0.0) == "A"
+            advisor.observe("Q1", "A", 50.0)  # 50x worse than modeled
+        assert advisor.choose("Q1", candidates, 0.0) == "B"
+        last = advisor.decision_log[-1]
+        assert last.rerouted == ("A",)
+        assert last.costs["A"] == pytest.approx(50.0)
+
+    def test_faster_than_modeled_backend_steals_the_route(self):
+        advisor = RoutingAdvisor(seed=SEED, min_observations=3, divergence=2.0)
+        for _ in range(3):
+            advisor.observe("Q1", "B", 0.5)  # modeled 5.0, observed 0.5
+        assert advisor.choose("Q1", [("A", 1.0), ("B", 5.0)], 0.0) == "B"
+
+    def test_epsilon_exploration_is_seed_deterministic(self):
+        logs = []
+        for _ in range(2):
+            advisor = RoutingAdvisor(seed=SEED, epsilon=0.5)
+            for i in range(20):
+                advisor.choose("Q1", [("A", 1.0), ("B", 5.0)], float(i))
+            logs.append(json.dumps(advisor.log_dicts()))
+        assert logs[0] == logs[1]
+        assert any(
+            d["explored"] for d in json.loads(logs[0])
+        ), "epsilon=0.5 over 20 draws never explored"
+
+    def test_online_rerouting_spreads_statements_in_practice(
+        self, backends, lab
+    ):
+        """Integration: after enough repetitions the observed EWMAs
+        override the static estimates and at least one statement routes
+        to more than one backend over its lifetime."""
+        mediator = build_mediator(
+            backends, lab.schema, lab.workload, seed=SEED
+        )
+        for rep in range(6):
+            for qid in JOIN_QUERIES:
+                params = lab.generator.params_for_query(qid, rep)
+                mediator.execute(mediator.statement(qid), params)
+        assert any(d.rerouted for d in mediator.advisor.decision_log)
+        chosen: dict[str, set] = {}
+        for d in mediator.advisor.decision_log:
+            chosen.setdefault(d.statement_id, set()).add(d.chosen)
+        assert any(len(s) >= 2 for s in chosen.values())
+
+
+class TestDeterminism:
+    def test_decision_and_route_logs_identical_across_fresh_builds(self):
+        """Two from-scratch federations (same seed) produce
+        byte-identical advisor decision logs and route records."""
+        logs, routes = [], []
+        for _ in range(2):
+            lab, _, mediator = small_federation(SYSTEM_NAMES, num_customers=10)
+            for rep in range(2):
+                for qid in JOIN_QUERIES:
+                    params = lab.generator.params_for_query(qid, rep)
+                    mediator.execute(mediator.statement(qid), params)
+            logs.append(json.dumps(mediator.advisor.log_dicts()))
+            routes.append(
+                json.dumps([r.to_dict() for r in mediator.route_log])
+            )
+        assert logs[0] == logs[1]
+        assert routes[0] == routes[1]
+
+
+# --------------------------------------------------------------- writes
+class TestBroadcastWrites:
+    """Declared after the read-only classes on purpose: these mutate the
+    module-scope backends (in lock-step, which is the property)."""
+
+    def test_broadcast_write_applies_on_every_backend(
+        self, mediator, backends
+    ):
+        mediator.execute("W9", (4242, 3))
+        rec = mediator.route_log[-1]
+        assert rec.mode == "broadcast"
+        assert {a["backend"] for a in rec.assignments} == set(backends)
+        for name, system in backends.items():
+            rows = system.execute("SELECT * FROM Item WHERE i_id = ?", (3,))
+            assert rows[0]["i_stock"] == 4242, name
+
+    def test_scheduled_multi_client_session_run_converges(
+        self, mediator, backends, lab
+    ):
+        """Four federated clients through the deterministic scheduler:
+        every transaction commits, execution genuinely interleaves, and
+        afterwards all five backends agree row for row on the full query
+        battery (broadcast keeps them convergent)."""
+        per_client = []
+        for c in range(4):
+            i_id = c_id = sc_id = c + 1
+            txns = []
+            for t in range(3):
+                stamp = 1000 * (c + 1) + t
+                txns.append([
+                    ("SELECT * FROM Item WHERE i_id = ?", (i_id,)),
+                    (WRITE_STATEMENTS["W9"], (stamp, i_id)),
+                ])
+                txns.append([
+                    (WRITE_STATEMENTS["W13"],
+                     (float(stamp), float(stamp) / 2, float(t), c_id)),
+                ])
+                txns.append([
+                    (WRITE_STATEMENTS["W11"], (float(stamp), sc_id)),
+                ])
+            per_client.append(txns)
+
+        scheduler = DeterministicScheduler(mediator.sim)
+        for i, txns in enumerate(per_client):
+            session = mediator.open_session(f"c{i}")
+
+            def program(client, session=session, txns=txns):
+                for txn in txns:
+                    yield from run_transaction(client, session, txn)
+
+            scheduler.add_client(f"c{i}", program)
+        report = scheduler.run()
+
+        total = sum(len(t) for t in per_client)
+        assert report.committed == total
+        assert report.steps > total  # genuinely interleaved
+        batteries = {
+            name: query_battery(system, lab)
+            for name, system in backends.items()
+        }
+        reference = query_battery(mediator, lab)
+        for name, battery in batteries.items():
+            for key, rows in battery.items():
+                assert rows == reference[key], (
+                    f"{name} diverged from the federation on {key}"
+                )
+
+
+class TestWriteHazard:
+    def test_abort_poisons_write_applied_on_no_rollback_backend(self):
+        """Synergy sessions auto-commit (no rollback): after an aborted
+        federated transaction the insert has applied there but not on
+        the MVCC backend, and re-executing it must raise instead of
+        double-applying."""
+        lab, systems, mediator = small_federation(("Synergy", "MVCC-A"))
+        probe = (
+            "SELECT * FROM Shopping_cart_line "
+            "WHERE scl_sc_id = ? and scl_i_id = ?"
+        )
+        key = (lab.generator.num_carts + 50, 1)
+        session = mediator.open_session("c0")
+        assert session.rolls_back_on_abort is False
+
+        session.begin()
+        session.execute("W7", key + (3,))
+        session.abort()
+        assert len(systems["Synergy"].execute(probe, key)) == 1
+        assert len(systems["MVCC-A"].execute(probe, key)) == 0
+
+        with pytest.raises(FederationWriteHazardError):
+            session.execute("W7", key + (3,))
+        # still applied exactly once — the hazard blocked the double-apply
+        assert len(systems["Synergy"].execute(probe, key)) == 1
+
+        # a *different* write is not poisoned
+        other = (key[0] + 1, 1)
+        session.begin()
+        session.execute("W7", other + (3,))
+        session.commit()
+        assert len(systems["Synergy"].execute(probe, other)) == 1
+        assert len(systems["MVCC-A"].execute(probe, other)) == 1
+
+    def test_hazard_error_is_not_retried_as_a_conflict(self):
+        """The scheduler's transaction loop retries TransactionError;
+        the hazard must not be one, or a retry loop would spin on it."""
+        assert issubclass(FederationWriteHazardError, ReproError)
+        assert not issubclass(FederationWriteHazardError, TransactionError)
+
+    def test_rollback_capable_federation_can_retry_after_abort(self):
+        """With only MVCC backends every session rolls back on abort, so
+        nothing is poisoned and the classic abort-then-retry works."""
+        lab, systems, mediator = small_federation(("MVCC-A", "MVCC-UA"))
+        probe = (
+            "SELECT * FROM Shopping_cart_line "
+            "WHERE scl_sc_id = ? and scl_i_id = ?"
+        )
+        key = (lab.generator.num_carts + 50, 1)
+        session = mediator.open_session("c0")
+        assert session.rolls_back_on_abort is True
+
+        session.begin()
+        session.execute("W7", key + (3,))
+        session.abort()
+        for system in systems.values():
+            assert len(system.execute(probe, key)) == 0
+
+        session.begin()
+        session.execute("W7", key + (3,))  # retry is safe: nothing applied
+        session.commit()
+        for system in systems.values():
+            assert len(system.execute(probe, key)) == 1
+
+
+# --------------------------------------------------------------- errors
+class TestFederationErrors:
+    def test_no_backends_rejected(self, lab):
+        with pytest.raises(FederationError):
+            build_mediator({}, lab.schema, lab.workload)
+
+    def test_unknown_mode_rejected(self, lab, backends):
+        with pytest.raises(FederationError):
+            build_mediator(backends, lab.schema, lab.workload, mode="bogus")
+
+    def test_unregistered_pin_rejected(self, lab, backends):
+        with pytest.raises(FederationError):
+            build_mediator(backends, lab.schema, lab.workload, pin="Nope")
+
+    def test_unknown_statement_id_unsupported(self, mediator):
+        assert not mediator.supports("NOPE")

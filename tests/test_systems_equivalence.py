@@ -13,9 +13,13 @@ latencies -> different resume orders).
 
 from __future__ import annotations
 
+import json
+import random
+
 import pytest
 
 from repro.bench.tpcw_lab import TpcwLab
+from repro.errors import UnsupportedStatementError
 from repro.sim.scheduler import DeterministicScheduler, run_transaction
 from repro.tpcw.queries import JOIN_QUERIES, VOLTDB_UNSUPPORTED
 from repro.tpcw.writes import WRITE_STATEMENTS
@@ -333,3 +337,119 @@ class TestStreamingEarlyClose:
         conn.configure_engine(engine="streaming")
         assert len(rows_legacy) == 10
         assert streaming_rpcs < legacy_rpcs
+
+
+class TestSupportsTruthfulProbe:
+    """Differential probe of ``supports()``: for every workload
+    statement id on every system, a True claim must execute cleanly and
+    a False claim must refuse with UnsupportedStatementError — no
+    over-claiming (the old base default answered True for everything)
+    and no under-claiming."""
+
+    @pytest.fixture(scope="class")
+    def probe(self):
+        # own small-scale fixtures: the probe EXECUTES every write, so
+        # it must not share state with the module-scope systems above
+        lab = TpcwLab(num_customers=10, repetitions=1, seed=SEED)
+        systems = {}
+        for name in (*SYSTEMS, "Baseline"):
+            system = lab.build_system(name)
+            lab.populate(system)
+            systems[name] = system
+        return lab, systems
+
+    def test_every_statement_id_on_every_system(self, probe):
+        lab, systems = probe
+        refused = set()
+        for name, system in systems.items():
+            for sid in (*JOIN_QUERIES, *WRITE_STATEMENTS):
+                params = (
+                    lab.generator.params_for_query(sid, 0)
+                    if sid in JOIN_QUERIES
+                    else lab.generator.params_for_write(sid, 0)
+                )
+                if system.supports(sid):
+                    system.execute(system.statement(sid), params)
+                else:
+                    refused.add((name, sid))
+                    with pytest.raises(UnsupportedStatementError):
+                        system.execute(system.statement(sid), params)
+        # the only truthful refusals are VoltDB's multi-way joins
+        assert refused == {("VoltDB", q) for q in VOLTDB_UNSUPPORTED}
+
+    def test_unknown_statement_id_unsupported_everywhere(self, probe):
+        _, systems = probe
+        for name, system in systems.items():
+            assert not system.supports("NOPE"), name
+
+
+class TestRoutedRandomQueries:
+    """PR 8's random-query generator, driven through the federation
+    mediator: whole-routed and split-routed execution over a registry of
+    differently-configured engines must match the naive reference model
+    row for row, and the advisor's decision log must be byte-identical
+    across fresh rebuilds."""
+
+    ROUTED_QUERIES = 60
+    ROUTED_SEED = 171001792
+
+    @staticmethod
+    def build_federation(mode):
+        from repro.relational.company import company_schema
+        from repro.relational.workload import Workload
+        from repro.federation import build_mediator
+        from repro.systems.baseline import BaselineSystem
+        from test_query_engine_property import company_rows
+
+        schema = company_schema()
+        backends = {
+            "legacy": BaselineSystem(schema, Workload(), query_engine="legacy"),
+            "streaming": BaselineSystem(
+                schema, Workload(), query_engine="streaming"
+            ),
+            "cost-based": BaselineSystem(
+                schema, Workload(),
+                query_engine="streaming", cost_based_planner=True,
+            ),
+        }
+        mediator = build_mediator(backends, schema, seed=7, mode=mode)
+        for table, rows in company_rows().items():
+            for row in rows:
+                mediator.load_row(table, row)
+        mediator.finish_load()
+        return mediator
+
+    @pytest.mark.parametrize("mode", ("whole", "split"))
+    def test_routed_random_queries_match_reference(self, mode):
+        from test_query_engine_property import (
+            company_rows, generate_query, ref_execute,
+        )
+
+        mediator = self.build_federation(mode)
+        data = company_rows()
+        rng = random.Random(self.ROUTED_SEED)
+        for i in range(self.ROUTED_QUERIES):
+            spec = generate_query(rng)
+            expected = sorted(ref_execute(spec, data))
+            rows = mediator.execute(spec.sql, spec.params)
+            got = sorted(tuple(r.values()) for r in rows)
+            assert got == expected, (
+                f"routed query #{i} (mode={mode}) diverged:\n{spec.sql}\n"
+                f"params={spec.params}\nexpected={expected}\ngot={got}"
+            )
+        if mode == "split":
+            # multi-binding specs genuinely decomposed into fragments
+            assert any(r.mode == "split" for r in mediator.route_log)
+
+    def test_advisor_decision_log_byte_identical_across_rebuilds(self):
+        from test_query_engine_property import generate_query
+
+        logs = []
+        for _ in range(2):
+            mediator = self.build_federation("auto")
+            rng = random.Random(self.ROUTED_SEED)
+            for _i in range(self.ROUTED_QUERIES):
+                spec = generate_query(rng)
+                mediator.execute(spec.sql, spec.params)
+            logs.append(json.dumps(mediator.advisor.log_dicts()))
+        assert logs[0] == logs[1]
